@@ -1,0 +1,77 @@
+"""E4 -- Figure 4: cache-construction and access-cost collection times.
+
+For every query Q1-Q10 of the synthetic star-schema workload the figure
+compares four series: the time INUM and PINUM need to fill the plan cache and
+the time each needs to collect the candidate indexes' access costs.  The
+paper reports PINUM at least 5-10x faster overall and two orders of magnitude
+faster for queries joining more than three tables.
+
+We report both wall-clock milliseconds and optimizer-call counts; the call
+counts are the language-independent quantity (our substrate is a Python
+optimizer, not PostgreSQL's C one).
+
+Run with:  pytest benchmarks/bench_fig4_cache_construction.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentTable, geometric_mean
+from repro.inum import InumCacheBuilder
+from repro.optimizer import Optimizer
+from repro.optimizer.interesting_orders import combination_count
+from repro.pinum import PinumCacheBuilder
+
+
+def _run_fig4(star_catalog, star_queries, candidate_generator):
+    optimizer = Optimizer(star_catalog)
+    table = ExperimentTable(
+        "E4 / Figure 4: cache construction and index-access-cost collection",
+        ["query", "tables", "IOCs", "candidates",
+         "INUM plan (ms)", "PINUM plan (ms)",
+         "INUM access (ms)", "PINUM access (ms)",
+         "INUM calls", "PINUM calls", "speedup (time)", "speedup (calls)"],
+    )
+    speedups_time = []
+    speedups_calls = []
+    for query in star_queries:
+        candidates = candidate_generator.for_query(query)
+
+        inum_cache = InumCacheBuilder(optimizer).build_cache(query, candidates)
+        pinum_cache = PinumCacheBuilder(optimizer).build_cache(query, candidates)
+
+        inum_stats = inum_cache.build_stats
+        pinum_stats = pinum_cache.build_stats
+        speedup_time = inum_stats.seconds_total / max(pinum_stats.seconds_total, 1e-9)
+        speedup_calls = inum_stats.optimizer_calls_total / max(
+            pinum_stats.optimizer_calls_total, 1
+        )
+        speedups_time.append(speedup_time)
+        speedups_calls.append(speedup_calls)
+        table.add_row(
+            query.name, query.table_count, combination_count(query), len(candidates),
+            inum_stats.seconds_plans * 1000, pinum_stats.seconds_plans * 1000,
+            inum_stats.seconds_access_costs * 1000, pinum_stats.seconds_access_costs * 1000,
+            inum_stats.optimizer_calls_total, pinum_stats.optimizer_calls_total,
+            f"{speedup_time:.1f}x", f"{speedup_calls:.1f}x",
+        )
+    table.add_row(
+        "geomean", "", "", "", "", "", "", "", "", "",
+        f"{geometric_mean(speedups_time):.1f}x", f"{geometric_mean(speedups_calls):.1f}x",
+    )
+    return table, speedups_time, speedups_calls
+
+
+def test_fig4_cache_construction(benchmark, star_catalog, star_queries, candidate_generator):
+    """Paper shape: PINUM >=5x faster overall, widening with join width."""
+    table, speedups_time, speedups_calls = benchmark.pedantic(
+        _run_fig4,
+        args=(star_catalog, star_queries, candidate_generator),
+        rounds=1,
+        iterations=1,
+    )
+    table.print()
+    assert geometric_mean(speedups_time) > 3.0
+    assert geometric_mean(speedups_calls) > 10.0
+    # Wider joins benefit more: the largest speedup belongs to a >=4-way join.
+    widest = max(range(len(star_queries)), key=lambda i: speedups_time[i])
+    assert star_queries[widest].table_count >= 4

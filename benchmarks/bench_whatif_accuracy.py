@@ -1,0 +1,68 @@
+"""E2 -- Section VI-B: what-if index accuracy.
+
+The paper compares the optimizer's cost for queries with indexes actually
+built against the cost obtained when the same indexes are only simulated as
+what-if indexes, over 50 random index sets; the error (caused by ignoring
+B-tree internal pages in the what-if size estimate) is 0.33 % on average and
+at most 1.05 %.
+
+We reproduce the setup: 50 random index sets drawn from the star-schema
+workload's candidate indexes, costed once with hypothetical indexes (leaf
+pages only) and once with "materialized" indexes (leaf plus internal pages).
+
+Run with:  pytest benchmarks/bench_whatif_accuracy.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentTable, relative_error
+from repro.optimizer import Optimizer
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.util.rng import DeterministicRNG
+
+SAMPLES = 50
+
+
+def _run_whatif_accuracy(star_workload, star_catalog, candidate_generator) -> ExperimentTable:
+    whatif = WhatIfOptimizer(Optimizer(star_catalog))
+    rng = DeterministicRNG(31)
+    errors = []
+    per_query_errors = {}
+    queries = star_workload.queries()
+    for sample in range(SAMPLES):
+        query = queries[sample % len(queries)]
+        candidates = candidate_generator.for_query(query)
+        picks = rng.sample(candidates, 1 + rng.randint(1, 3))
+        hypothetical = whatif.cost_with_configuration(query, picks)
+        materialized = whatif.cost_with_configuration(
+            query, [index.materialized() for index in picks]
+        )
+        error = relative_error(hypothetical, materialized)
+        errors.append(error)
+        per_query_errors.setdefault(query.name, []).append(error)
+
+    table = ExperimentTable(
+        "E2: what-if index accuracy (hypothetical vs materialized indexes)",
+        ["metric", "value"],
+    )
+    table.add_row("index sets evaluated", SAMPLES)
+    table.add_row("average error", f"{100 * sum(errors) / len(errors):.3f}%")
+    table.add_row("maximum error", f"{100 * max(errors):.3f}%")
+    table.add_row("paper: average error", "0.33%")
+    table.add_row("paper: maximum error", "1.05%")
+    return table
+
+
+def test_whatif_index_accuracy(benchmark, star_workload, star_catalog, candidate_generator):
+    """What-if costs must track materialized-index costs within ~1%."""
+    table = benchmark.pedantic(
+        _run_whatif_accuracy,
+        args=(star_workload, star_catalog, candidate_generator),
+        rounds=1,
+        iterations=1,
+    )
+    table.print()
+    average = float(table.rows[1][1].rstrip("%"))
+    maximum = float(table.rows[2][1].rstrip("%"))
+    assert average < 1.0
+    assert maximum < 5.0

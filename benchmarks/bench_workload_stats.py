@@ -1,0 +1,61 @@
+"""E6 -- Section VI-A's workload statistics.
+
+"In this experiment PINUM generates and searches through 1093 candidate
+indexes.  It identifies 43 useful plans for out of a total of 266 interesting
+order combinations."  This benchmark reports the corresponding numbers for
+the reproduction's synthetic workload: candidate-index count, total
+interesting-order combinations across the ten queries, and the number of
+useful (cached) plans PINUM keeps after subsumption pruning.
+
+Run with:  pytest benchmarks/bench_workload_stats.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentTable
+from repro.optimizer import Optimizer
+from repro.optimizer.interesting_orders import combination_count
+from repro.pinum import PinumBuilderOptions, PinumCacheBuilder
+
+
+def _run_workload_stats(star_catalog, star_queries, candidate_generator):
+    candidates = candidate_generator.for_workload(star_queries)
+    optimizer = Optimizer(star_catalog)
+
+    total_combinations = 0
+    total_useful_plans = 0
+    per_query = []
+    for query in star_queries:
+        query_candidates = [c for c in candidates if c.table in query.tables]
+        cache = PinumCacheBuilder(
+            optimizer, PinumBuilderOptions(collect_access_costs=False)
+        ).build_plan_cache(query)
+        combinations = combination_count(query)
+        total_combinations += combinations
+        total_useful_plans += cache.entry_count
+        per_query.append((query.name, query.table_count, combinations,
+                          cache.entry_count, len(query_candidates)))
+
+    table = ExperimentTable(
+        "E6: workload statistics (paper: 1093 candidates, 266 IOCs, 43 useful plans)",
+        ["query", "tables", "IOCs", "useful plans", "candidates touching query"],
+    )
+    for row in per_query:
+        table.add_row(*row)
+    table.add_row("total", "", total_combinations, total_useful_plans, len(candidates))
+    return table, len(candidates), total_combinations, total_useful_plans
+
+
+def test_workload_statistics(benchmark, star_catalog, star_queries, candidate_generator):
+    """The counts must land in the same order of magnitude as the paper's."""
+    table, candidates, combinations, useful = benchmark.pedantic(
+        _run_workload_stats,
+        args=(star_catalog, star_queries, candidate_generator),
+        rounds=1,
+        iterations=1,
+    )
+    table.print()
+    assert 100 <= candidates <= 5000
+    assert 50 <= combinations <= 5000
+    # Useful plans are a small fraction of the combinations, as in the paper.
+    assert useful < combinations

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on environments without the
+``wheel`` package (offline CI containers), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Reproduction of "Caching All Plans with Just One Optimizer Call" (PINUM).
+
+The package is organised as a layered system:
+
+* :mod:`repro.catalog` -- schema, statistics and (what-if) index metadata.
+* :mod:`repro.storage` -- page/tuple layout math, synthetic data, in-memory
+  relations and B-tree-like structures used by the executor.
+* :mod:`repro.query` -- query AST, builder, parser and preprocessor.
+* :mod:`repro.optimizer` -- a PostgreSQL-style bottom-up dynamic-programming
+  optimizer (access-path collector, join planner, grouping planner) with the
+  hook points PINUM relies on.
+* :mod:`repro.executor` -- iterator-model plan execution with simulated I/O.
+* :mod:`repro.inum` -- the INUM plan-cache baseline (one optimizer call per
+  interesting-order combination).
+* :mod:`repro.pinum` -- the paper's contribution: filling the same cache with
+  one or two optimizer calls by harvesting intermediate DP plans.
+* :mod:`repro.advisor` -- a greedy index-selection tool driven by the cache.
+* :mod:`repro.workloads` -- the synthetic star-schema workload and a
+  TPC-H-like schema used by the paper's motivation section.
+* :mod:`repro.bench` -- experiment harness utilities.
+"""
+
+from repro.catalog import Catalog, Column, ColumnType, Index, Table, TableStatistics
+from repro.query import Query, QueryBuilder
+from repro.optimizer import Optimizer, OptimizerOptions
+from repro.inum import AtomicConfiguration, InumCache, InumCacheBuilder, InumCostModel
+from repro.pinum import PinumCacheBuilder, PinumCostModel
+from repro.advisor import IndexAdvisor, AdvisorOptions
+from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdvisorOptions",
+    "AtomicConfiguration",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Index",
+    "IndexAdvisor",
+    "InumCache",
+    "InumCacheBuilder",
+    "InumCostModel",
+    "Optimizer",
+    "OptimizerOptions",
+    "PinumCacheBuilder",
+    "PinumCostModel",
+    "Query",
+    "QueryBuilder",
+    "StarSchemaWorkload",
+    "Table",
+    "TableStatistics",
+    "build_tpch_like_catalog",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""The index-selection tool (Section V-E).
+
+A deliberately simple greedy advisor, matching the paper's prototype: analyse
+the workload to produce a large candidate-index set, then iteratively add the
+candidate with the largest workload benefit until the space budget is
+exhausted.  The advisor's benefit oracle is pluggable: the raw optimizer
+(slow, one what-if call per candidate per iteration), the INUM cache or the
+PINUM cache (fast, arithmetic only after the cache is built) -- which is
+exactly the trade-off Figures 4 and 6/7 quantify.
+"""
+
+from repro.advisor.advisor import AdvisorOptions, AdvisorResult, IndexAdvisor
+from repro.advisor.benefit import (
+    CacheBackedWorkloadCostModel,
+    OptimizerWorkloadCostModel,
+    WorkloadCostModel,
+)
+from repro.advisor.candidates import CandidateGenerator
+from repro.advisor.greedy import GreedySelector, SelectionStep
+
+__all__ = [
+    "AdvisorOptions",
+    "AdvisorResult",
+    "CacheBackedWorkloadCostModel",
+    "CandidateGenerator",
+    "GreedySelector",
+    "IndexAdvisor",
+    "OptimizerWorkloadCostModel",
+    "SelectionStep",
+    "WorkloadCostModel",
+]

@@ -1,0 +1,152 @@
+"""The index advisor front end: workload in, index recommendation out.
+
+Wires together candidate generation, the chosen benefit oracle (PINUM cache,
+INUM cache or raw optimizer) and the greedy selection loop, and reports both
+the recommendation and the bookkeeping the experiments need (per-query costs
+before/after, optimizer calls spent, cache-construction time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.advisor.benefit import (
+    CacheBackedWorkloadCostModel,
+    OptimizerWorkloadCostModel,
+    WorkloadCostModel,
+)
+from repro.advisor.candidates import CandidateGenerator
+from repro.advisor.greedy import GreedySelector, SelectionStep
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.optimizer.optimizer import Optimizer
+from repro.query.ast import Query
+from repro.util.errors import AdvisorError
+from repro.util.units import format_bytes, gigabytes
+
+
+@dataclass(frozen=True)
+class AdvisorOptions:
+    """Configuration of one advisor run.
+
+    ``space_budget_bytes`` is the disk budget for the suggested indexes (the
+    paper uses 5 GB against a 10 GB database).  ``cost_model`` selects the
+    benefit oracle: ``"pinum"`` (default), ``"inum"`` or ``"optimizer"``.
+    ``max_candidates`` optionally truncates the candidate set (keeping the
+    generation order) to bound experiment running times.
+    """
+
+    space_budget_bytes: int = gigabytes(5)
+    cost_model: str = "pinum"
+    max_candidates: Optional[int] = None
+    min_relative_benefit: float = 1e-4
+
+
+@dataclass
+class AdvisorResult:
+    """Outcome of one advisor run."""
+
+    selected_indexes: List[Index]
+    steps: List[SelectionStep]
+    candidate_count: int
+    workload_cost_before: float
+    workload_cost_after: float
+    per_query_cost_before: Dict[str, float]
+    per_query_cost_after: Dict[str, float]
+    total_index_bytes: int
+    preparation_optimizer_calls: int = 0
+    preparation_seconds: float = 0.0
+
+    @property
+    def improvement_fraction(self) -> float:
+        """Fraction of the workload cost removed by the recommendation."""
+        if self.workload_cost_before <= 0:
+            return 0.0
+        return 1.0 - self.workload_cost_after / self.workload_cost_before
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        lines = [
+            f"candidates considered : {self.candidate_count}",
+            f"indexes selected      : {len(self.selected_indexes)}",
+            f"total index size      : {format_bytes(self.total_index_bytes)}",
+            f"workload cost         : {self.workload_cost_before:.1f} -> "
+            f"{self.workload_cost_after:.1f} "
+            f"({self.improvement_fraction * 100.0:.1f}% improvement)",
+        ]
+        for index in self.selected_indexes:
+            lines.append(f"  - {index.table}({', '.join(index.columns)})")
+        return "\n".join(lines)
+
+
+class IndexAdvisor:
+    """The complete index-selection tool of Section V-E."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        optimizer: Optimizer,
+        options: Optional[AdvisorOptions] = None,
+    ) -> None:
+        self._catalog = catalog
+        self._optimizer = optimizer
+        self._options = options or AdvisorOptions()
+        if self._options.cost_model not in ("pinum", "inum", "optimizer"):
+            raise AdvisorError(
+                f"unknown cost model {self._options.cost_model!r} "
+                "(expected 'pinum', 'inum' or 'optimizer')"
+            )
+
+    def recommend(
+        self,
+        workload: Sequence[Query],
+        candidates: Optional[Sequence[Index]] = None,
+    ) -> AdvisorResult:
+        """Recommend an index set for ``workload`` within the space budget."""
+        if not workload:
+            raise AdvisorError("the workload must contain at least one query")
+        generator = CandidateGenerator(self._catalog)
+        candidate_list = list(candidates) if candidates is not None else generator.for_workload(workload)
+        if self._options.max_candidates is not None:
+            candidate_list = candidate_list[: self._options.max_candidates]
+
+        cost_model = self._build_cost_model(workload, candidate_list)
+        per_query_before = cost_model.per_query_costs([])
+        cost_before = sum(per_query_before.values())
+
+        selector = GreedySelector(
+            self._catalog,
+            cost_model,
+            self._options.space_budget_bytes,
+            self._options.min_relative_benefit,
+        )
+        steps = selector.select(candidate_list)
+        selected = [step.chosen for step in steps]
+        per_query_after = cost_model.per_query_costs(selected)
+        cost_after = sum(per_query_after.values())
+        total_bytes = sum(self._catalog.index_size_bytes(index) for index in selected)
+
+        return AdvisorResult(
+            selected_indexes=selected,
+            steps=steps,
+            candidate_count=len(candidate_list),
+            workload_cost_before=cost_before,
+            workload_cost_after=cost_after,
+            per_query_cost_before=per_query_before,
+            per_query_cost_after=per_query_after,
+            total_index_bytes=total_bytes,
+            preparation_optimizer_calls=cost_model.preparation_optimizer_calls,
+            preparation_seconds=cost_model.preparation_seconds,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_cost_model(
+        self, workload: Sequence[Query], candidates: Sequence[Index]
+    ) -> WorkloadCostModel:
+        if self._options.cost_model == "optimizer":
+            return OptimizerWorkloadCostModel(self._optimizer, workload)
+        return CacheBackedWorkloadCostModel(
+            self._optimizer, workload, candidates, mode=self._options.cost_model
+        )

@@ -1,0 +1,85 @@
+"""Candidate index generation.
+
+The paper's tool "first statically analyses the queries to find a large set
+of candidate indexes"; the large candidate set is cited as the main reason
+the simple greedy algorithm beats more sophisticated commercial designers.
+The generator below produces, per query and per table:
+
+* a single-column index on every referenced column,
+* two-column indexes pairing each interesting order with each other
+  referenced column,
+* a covering index per interesting order (the order first, then every other
+  referenced column), and
+* a covering index led by each filtered column.
+
+Candidates are de-duplicated structurally across the workload.  For the
+paper's ten-query synthetic workload this yields on the order of a thousand
+candidates (1093 in the paper's run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.optimizer.interesting_orders import interesting_orders_for
+from repro.query.ast import Query
+
+
+class CandidateGenerator:
+    """Derive candidate what-if indexes from the workload's query text."""
+
+    def __init__(self, catalog: Catalog, max_index_columns: int = 8) -> None:
+        self._catalog = catalog
+        self._max_index_columns = max_index_columns
+
+    def for_query(self, query: Query) -> List[Index]:
+        """Candidate indexes useful for a single query."""
+        candidates: Dict[tuple, Index] = {}
+        for table in query.tables:
+            referenced = query.columns_of(table)
+            if not referenced:
+                continue
+            orders = interesting_orders_for(query, table)
+            filtered = [p.column.column for p in query.filters_on(table)]
+
+            for column in referenced:
+                self._register(candidates, table, [column])
+
+            for order in orders:
+                for column in referenced:
+                    if column != order:
+                        self._register(candidates, table, [order, column])
+                covering = [order] + [c for c in referenced if c != order]
+                self._register(candidates, table, covering)
+
+            for column in filtered:
+                covering = [column] + [c for c in referenced if c != column]
+                self._register(candidates, table, covering)
+        return list(candidates.values())
+
+    def for_workload(self, queries: Sequence[Query]) -> List[Index]:
+        """Structurally de-duplicated candidates for the whole workload."""
+        candidates: Dict[tuple, Index] = {}
+        for query in queries:
+            for index in self.for_query(query):
+                candidates.setdefault(index.key, index)
+        return list(candidates.values())
+
+    def candidates_per_table(self, queries: Sequence[Query]) -> Dict[str, List[Index]]:
+        """Workload candidates grouped by table (for reporting)."""
+        grouped: Dict[str, List[Index]] = {}
+        for index in self.for_workload(queries):
+            grouped.setdefault(index.table, []).append(index)
+        return grouped
+
+    # -- internals --------------------------------------------------------------
+
+    def _register(self, candidates: Dict[tuple, Index], table: str, columns: Iterable[str]) -> None:
+        columns = list(columns)[: self._max_index_columns]
+        if not columns:
+            return
+        index = Index(table=table, columns=columns, hypothetical=True)
+        index.validate_against(self._catalog.table(table))
+        candidates.setdefault(index.key, index)

@@ -1,0 +1,94 @@
+"""The greedy index-selection algorithm (Section V-E).
+
+"It then follows an iterative algorithm, and selects the index which provides
+the most benefit to the workload.  To determine the index, it iterates over
+all candidate indexes, measures their benefit if used along with the winning
+indexes of earlier iterations.  It adds the index with most benefit to the
+winning set, and iterates till adding an index would violate the space
+constraint."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.advisor.benefit import WorkloadCostModel
+from repro.util.errors import AdvisorError
+
+
+@dataclass
+class SelectionStep:
+    """One iteration of the greedy loop (for reporting and tests)."""
+
+    chosen: Index
+    workload_cost_before: float
+    workload_cost_after: float
+    cumulative_size_bytes: int
+
+    @property
+    def benefit(self) -> float:
+        """Workload cost reduction achieved by this step's index."""
+        return self.workload_cost_before - self.workload_cost_after
+
+
+class GreedySelector:
+    """Greedy selection of indexes under a space budget."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: WorkloadCostModel,
+        space_budget_bytes: int,
+        min_relative_benefit: float = 1e-4,
+    ) -> None:
+        if space_budget_bytes <= 0:
+            raise AdvisorError(f"space budget must be positive, got {space_budget_bytes}")
+        self._catalog = catalog
+        self._cost_model = cost_model
+        self._budget = space_budget_bytes
+        self._min_relative_benefit = min_relative_benefit
+
+    def select(self, candidates: Sequence[Index]) -> List[SelectionStep]:
+        """Run the greedy loop and return the chosen indexes in pick order."""
+        remaining = list(candidates)
+        winners: List[Index] = []
+        steps: List[SelectionStep] = []
+        used_bytes = 0
+        current_cost = self._cost_model.workload_cost(winners)
+        baseline_cost = current_cost
+
+        while remaining:
+            best_index: Optional[Index] = None
+            best_cost = current_cost
+            for candidate in remaining:
+                size = self._catalog.index_size_bytes(candidate)
+                if used_bytes + size > self._budget:
+                    continue
+                cost = self._cost_model.workload_cost(winners + [candidate])
+                if cost < best_cost:
+                    best_cost = cost
+                    best_index = candidate
+
+            if best_index is None:
+                break
+            benefit = current_cost - best_cost
+            if baseline_cost > 0 and benefit / baseline_cost < self._min_relative_benefit:
+                break
+
+            winners.append(best_index)
+            remaining = [c for c in remaining if c.key != best_index.key]
+            used_bytes += self._catalog.index_size_bytes(best_index)
+            steps.append(
+                SelectionStep(
+                    chosen=best_index,
+                    workload_cost_before=current_cost,
+                    workload_cost_after=best_cost,
+                    cumulative_size_bytes=used_bytes,
+                )
+            )
+            current_cost = best_cost
+
+        return steps

@@ -1,0 +1,10 @@
+"""Benchmark support: timers and result-table formatting for the experiments."""
+
+from repro.bench.harness import ExperimentTable, Timer, geometric_mean, relative_error
+
+__all__ = [
+    "ExperimentTable",
+    "Timer",
+    "geometric_mean",
+    "relative_error",
+]

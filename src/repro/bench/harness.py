@@ -1,0 +1,116 @@
+"""Small helpers shared by the benchmark scripts under ``benchmarks/``.
+
+Each benchmark regenerates one of the paper's tables or figures; the helpers
+here keep the scripts focused on the experiment itself: a wall-clock timer, a
+column-aligned result table (printed to stdout and easy to paste into
+EXPERIMENTS.md) and the error metrics the accuracy experiments report.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(10))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None
+        self.seconds = time.perf_counter() - self._started
+
+    @property
+    def milliseconds(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.seconds * 1000.0
+
+
+class ExperimentTable:
+    """A printable table of experiment results."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; values are rendered with :func:`format_value`."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values ({self.columns}), got {len(values)}"
+            )
+        self.rows.append([format_value(value) for value in values])
+
+    def render(self) -> str:
+        """The table as aligned monospace text."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table (benchmarks call this at the end)."""
+        print()
+        print(self.render())
+        print()
+
+
+def format_value(value: object) -> str:
+    """Render one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def relative_error(estimated: float, actual: float) -> float:
+    """``|estimated - actual| / actual`` with a guard for tiny denominators."""
+    if abs(actual) < 1e-12:
+        return 0.0 if abs(estimated) < 1e-12 else float("inf")
+    return abs(estimated - actual) / abs(actual)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if the input is empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_table(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+    """Per-key ``before / after`` ratios (``inf`` when after is zero)."""
+    result: Dict[str, float] = {}
+    for key, base in before.items():
+        improved = after.get(key, 0.0)
+        result[key] = float("inf") if improved == 0 else base / improved
+    return result

@@ -1,0 +1,18 @@
+"""Catalog layer: schema objects, statistics and (what-if) index metadata."""
+
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
+from repro.catalog.statistics import ColumnStatistics, Histogram, TableStatistics
+from repro.catalog.index import Index
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "ForeignKey",
+    "Histogram",
+    "Index",
+    "Table",
+    "TableStatistics",
+]

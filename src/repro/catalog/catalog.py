@@ -1,0 +1,185 @@
+"""The catalog: a registry of tables, statistics and (what-if) indexes.
+
+The catalog plays the role of PostgreSQL's system catalogs in Figure 2 of the
+paper: the access-path collector consults it for table/index statistics.  Two
+context managers implement the "what-if" interface physical designers need:
+
+* :meth:`Catalog.with_indexes` temporarily *adds* hypothetical indexes, and
+* :meth:`Catalog.only_indexes` temporarily makes a specific configuration the
+  *only* visible set of indexes (what INUM does when probing one atomic
+  configuration).
+
+Both restore the previous state on exit, even if the body raises.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.catalog.index import Index
+from repro.catalog.schema import Table, validate_foreign_keys
+from repro.catalog.statistics import TableStatistics
+from repro.util.errors import CatalogError
+
+
+class Catalog:
+    """In-memory database catalog with a hypothetical-index overlay."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+        self._indexes: Dict[str, Index] = {}
+        # Stack of overlays; each entry is (mode, indexes) where mode is
+        # "add" (extra hypothetical indexes) or "only" (replace visible set).
+        self._overlays: List[tuple] = []
+
+    # -- tables -----------------------------------------------------------
+
+    def add_table(self, table: Table, statistics: Optional[TableStatistics] = None) -> None:
+        """Register a table (and optionally its statistics)."""
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+        if statistics is not None:
+            self.set_statistics(table.name, statistics)
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table called ``name`` is registered."""
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        """Look up a table, raising :class:`CatalogError` if unknown."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def tables(self) -> List[Table]:
+        """All registered tables in registration order."""
+        return list(self._tables.values())
+
+    def validate(self) -> None:
+        """Check referential integrity of the registered schema."""
+        diagnostics = validate_foreign_keys(self._tables)
+        if not diagnostics.ok:
+            problems = diagnostics.missing_tables + diagnostics.missing_columns
+            raise CatalogError("invalid schema: " + "; ".join(problems))
+
+    # -- statistics -------------------------------------------------------
+
+    def set_statistics(self, table_name: str, statistics: TableStatistics) -> None:
+        """Attach statistics to a registered table."""
+        table = self.table(table_name)
+        if statistics.table.name != table.name:
+            raise CatalogError(
+                f"statistics are for {statistics.table.name!r}, not {table_name!r}"
+            )
+        self._statistics[table_name] = statistics
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Statistics for ``table_name`` (raises if never set)."""
+        self.table(table_name)
+        try:
+            return self._statistics[table_name]
+        except KeyError:
+            raise CatalogError(f"no statistics collected for table {table_name!r}") from None
+
+    def has_statistics(self, table_name: str) -> bool:
+        """Whether statistics have been collected for ``table_name``."""
+        return table_name in self._statistics
+
+    # -- indexes ----------------------------------------------------------
+
+    def add_index(self, index: Index) -> Index:
+        """Register a permanent index (validated against its table)."""
+        index.validate_against(self.table(index.table))
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} is already registered")
+        self._indexes[index.name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove a permanent index by name."""
+        if name not in self._indexes:
+            raise CatalogError(f"unknown index {name!r}")
+        del self._indexes[name]
+
+    def drop_all_indexes(self) -> None:
+        """Remove every permanent index (used between advisor iterations)."""
+        self._indexes.clear()
+
+    def index(self, name: str) -> Index:
+        """Look up a permanent index by name."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"unknown index {name!r}") from None
+
+    def _visible_indexes(self) -> List[Index]:
+        visible: Dict[str, Index] = dict(self._indexes)
+        for mode, indexes in self._overlays:
+            if mode == "only":
+                visible = {}
+            for index in indexes:
+                visible[index.name] = index
+        return list(visible.values())
+
+    def all_indexes(self) -> List[Index]:
+        """Every index currently visible (permanent plus overlays)."""
+        return self._visible_indexes()
+
+    def indexes_on(self, table_name: str) -> List[Index]:
+        """Indexes currently visible on ``table_name``."""
+        return [index for index in self._visible_indexes() if index.table == table_name]
+
+    @contextlib.contextmanager
+    def with_indexes(self, indexes: Sequence[Index]) -> Iterator[None]:
+        """Temporarily add what-if indexes on top of the permanent set."""
+        for index in indexes:
+            index.validate_against(self.table(index.table))
+        self._overlays.append(("add", list(indexes)))
+        try:
+            yield
+        finally:
+            self._overlays.pop()
+
+    @contextlib.contextmanager
+    def only_indexes(self, indexes: Sequence[Index]) -> Iterator[None]:
+        """Temporarily make ``indexes`` the only visible index set.
+
+        This models INUM probing one atomic configuration: the optimizer must
+        not see indexes outside the configuration being evaluated.
+        """
+        for index in indexes:
+            index.validate_against(self.table(index.table))
+        self._overlays.append(("only", list(indexes)))
+        try:
+            yield
+        finally:
+            self._overlays.pop()
+
+    # -- sizes ------------------------------------------------------------
+
+    def table_size_bytes(self, table_name: str) -> int:
+        """Heap size of one table in bytes."""
+        return self.statistics(table_name).heap_bytes
+
+    def index_size_bytes(self, index: Index) -> int:
+        """Size of ``index`` in bytes given the current statistics."""
+        return index.size_in_bytes(self.statistics(index.table))
+
+    def database_size_bytes(self, include_indexes: bool = False) -> int:
+        """Total heap size (optionally including permanent indexes)."""
+        total = sum(self.statistics(t.name).heap_bytes for t in self.tables()
+                    if self.has_statistics(t.name))
+        if include_indexes:
+            total += sum(self.index_size_bytes(index) for index in self._indexes.values())
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Catalog({self.name!r}, tables={len(self._tables)}, "
+            f"indexes={len(self._indexes)})"
+        )

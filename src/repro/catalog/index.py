@@ -1,0 +1,144 @@
+"""Index metadata: real (materialized) and what-if (hypothetical) indexes.
+
+What-if indexes are the paper's Section V-A contribution to PostgreSQL: the
+optimizer only needs the index's *size* and the table's column statistics to
+cost plans that use it, so a hypothetical index never has to be built.  Size
+is computed from the average attribute widths, row count and alignment as the
+number of B-tree **leaf** pages; internal pages are deliberately ignored
+("they affect the relative page sizes only on very small indexes"), which is
+the source of the small cost error measured in Section VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.catalog.schema import Table
+from repro.catalog.statistics import TableStatistics
+from repro.storage import pages
+from repro.util.errors import CatalogError
+
+
+class Index:
+    """A (possibly hypothetical) B-tree index on one table.
+
+    Identity is the ``(table, columns)`` pair: two indexes with the same key
+    columns in the same order are interchangeable for planning purposes,
+    which the advisor uses for candidate de-duplication.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        columns: Sequence[str],
+        name: Optional[str] = None,
+        unique: bool = False,
+        hypothetical: bool = True,
+    ) -> None:
+        if not table:
+            raise CatalogError("index table must be non-empty")
+        if not columns:
+            raise CatalogError("index must have at least one column")
+        if len(set(columns)) != len(columns):
+            raise CatalogError(f"index on {table!r} has duplicate columns: {columns}")
+        self.table = table
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.name = name or f"idx_{table}_{'_'.join(self.columns)}"
+        self.unique = unique
+        #: Hypothetical (what-if) indexes report only leaf pages as their
+        #: size; materialized indexes include internal B-tree pages.
+        self.hypothetical = hypothetical
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def key(self) -> Tuple[str, Tuple[str, ...]]:
+        """Structural identity used for de-duplication and cache lookups."""
+        return (self.table, self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Index):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "what-if" if self.hypothetical else "real"
+        return f"Index({self.name!r}, {self.table}({', '.join(self.columns)}), {kind})"
+
+    # -- semantics --------------------------------------------------------
+
+    @property
+    def leading_column(self) -> str:
+        """The first key column; it determines which interesting order is covered."""
+        return self.columns[0]
+
+    def covers_order(self, column: Optional[str]) -> bool:
+        """Whether this index provides the interesting order ``column``.
+
+        Following the paper's definition 4, an index covers an interesting
+        order iff the order column is the *first* column of the index.  Every
+        index trivially covers the empty order (``None``).
+        """
+        if column is None:
+            return True
+        return self.leading_column == column
+
+    def covers_columns(self, columns: Sequence[str]) -> bool:
+        """Whether the index contains every column in ``columns`` (covering index)."""
+        return set(columns).issubset(self.columns)
+
+    def validate_against(self, table: Table) -> None:
+        """Raise :class:`CatalogError` if the index references unknown columns."""
+        if table.name != self.table:
+            raise CatalogError(
+                f"index {self.name!r} is declared on {self.table!r}, not {table.name!r}"
+            )
+        for column in self.columns:
+            if not table.has_column(column):
+                raise CatalogError(
+                    f"index {self.name!r}: table {table.name!r} has no column {column!r}"
+                )
+
+    def materialized(self) -> "Index":
+        """A copy of this index flagged as actually built (internal pages counted)."""
+        return Index(
+            table=self.table,
+            columns=self.columns,
+            name=self.name,
+            unique=self.unique,
+            hypothetical=False,
+        )
+
+    # -- size model -------------------------------------------------------
+
+    def tuple_width(self, stats: TableStatistics) -> int:
+        """Width of one index entry in bytes."""
+        widths = stats.table.column_widths(self.columns)
+        return pages.index_tuple_width(widths)
+
+    def leaf_pages(self, stats: TableStatistics) -> int:
+        """Leaf page count -- the size a what-if index reports."""
+        return pages.btree_leaf_pages(stats.row_count, self.tuple_width(stats))
+
+    def internal_pages(self, stats: TableStatistics) -> int:
+        """Internal page count of a materialized B-tree for this index."""
+        key_width = sum(width for width, _ in stats.table.column_widths(self.columns))
+        return pages.btree_internal_pages(self.leaf_pages(stats), key_width)
+
+    def size_in_pages(self, stats: TableStatistics) -> int:
+        """Pages the optimizer believes the index occupies.
+
+        What-if indexes count only leaf pages (the paper's simplification);
+        materialized indexes additionally include internal pages.
+        """
+        leaves = self.leaf_pages(stats)
+        if self.hypothetical:
+            return leaves
+        return leaves + self.internal_pages(stats)
+
+    def size_in_bytes(self, stats: TableStatistics) -> int:
+        """Index size in bytes, consistent with :meth:`size_in_pages`."""
+        return self.size_in_pages(stats) * pages.PAGE_SIZE

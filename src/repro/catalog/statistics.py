@@ -1,0 +1,280 @@
+"""Table and column statistics used by the optimizer's cost model.
+
+The optimizer never touches data: like PostgreSQL it relies on per-column
+statistics (row counts, distinct counts, min/max, null fraction and an
+equi-width histogram) to estimate predicate selectivities and join
+cardinalities.  What-if indexes reuse the *table's* statistics -- the paper
+notes "Since the histogram information is associated with the table, we do
+not replicate or modify them" -- so hypothetical indexes are costed without
+any extra statistics collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.catalog.schema import Table
+from repro.storage import pages
+from repro.util.errors import CatalogError
+
+#: Default selectivity when a predicate references a column with no statistics.
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+class Histogram:
+    """Equi-width histogram over a numeric column.
+
+    ``bounds`` has ``len(counts) + 1`` entries; bucket ``i`` covers
+    ``[bounds[i], bounds[i + 1])`` except the last bucket, which is inclusive
+    of its upper bound.
+    """
+
+    def __init__(self, bounds: Sequence[float], counts: Sequence[int]) -> None:
+        if len(bounds) != len(counts) + 1:
+            raise CatalogError(
+                f"histogram needs len(bounds) == len(counts) + 1, "
+                f"got {len(bounds)} bounds and {len(counts)} counts"
+            )
+        if len(counts) == 0:
+            raise CatalogError("histogram needs at least one bucket")
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi < lo:
+                raise CatalogError("histogram bounds must be non-decreasing")
+        if any(count < 0 for count in counts):
+            raise CatalogError("histogram counts must be non-negative")
+        self.bounds = [float(b) for b in bounds]
+        self.counts = [int(c) for c in counts]
+        self.total = sum(self.counts)
+
+    @classmethod
+    def uniform(cls, low: float, high: float, row_count: int, buckets: int = 20) -> "Histogram":
+        """Histogram of a uniformly distributed column (the paper's workload)."""
+        if buckets <= 0:
+            raise CatalogError("bucket count must be positive")
+        if high < low:
+            raise CatalogError(f"invalid range [{low}, {high}]")
+        if high == low:
+            # Degenerate single-value column: one bucket holding everything.
+            return cls([low, high], [row_count])
+        width = (high - low) / buckets
+        bounds = [low + i * width for i in range(buckets)] + [high]
+        base = row_count // buckets
+        counts = [base] * buckets
+        for i in range(row_count - base * buckets):
+            counts[i % buckets] += 1
+        return cls(bounds, counts)
+
+    @classmethod
+    def from_values(cls, values: Sequence[float], buckets: int = 20) -> "Histogram":
+        """Build a histogram from observed values (used by ANALYZE-style code)."""
+        if not values:
+            raise CatalogError("cannot build a histogram from no values")
+        low, high = min(values), max(values)
+        if high == low:
+            return cls([low, high], [len(values)])
+        histogram = cls.uniform(low, high, 0, buckets)
+        histogram.counts = [0] * buckets
+        span = high - low
+        for value in values:
+            bucket = min(buckets - 1, int((value - low) / span * buckets))
+            histogram.counts[bucket] += 1
+        histogram.total = len(values)
+        return histogram
+
+    def selectivity_below(self, value: float, inclusive: bool = True) -> float:
+        """Fraction of rows with column value ``<= value`` (or ``<``)."""
+        if self.total == 0:
+            return DEFAULT_RANGE_SELECTIVITY
+        if value < self.bounds[0]:
+            return 0.0
+        if value >= self.bounds[-1]:
+            return 1.0
+        covered = 0.0
+        for i, count in enumerate(self.counts):
+            lo, hi = self.bounds[i], self.bounds[i + 1]
+            if value >= hi:
+                covered += count
+            elif value > lo:
+                width = hi - lo
+                fraction = (value - lo) / width if width > 0 else 1.0
+                covered += count * fraction
+                break
+            else:
+                break
+        selectivity = covered / self.total
+        if not inclusive:
+            # Subtract the (tiny) equality mass; callers combine with NDV info.
+            selectivity = max(0.0, selectivity)
+        return min(1.0, selectivity)
+
+    def selectivity_between(self, low: float, high: float) -> float:
+        """Fraction of rows with column value in ``[low, high]``."""
+        if high < low:
+            return 0.0
+        upper = self.selectivity_below(high)
+        # Nothing lies strictly below the histogram's lower bound; handling
+        # this explicitly keeps single-value (degenerate) histograms exact.
+        lower = 0.0 if low <= self.bounds[0] else self.selectivity_below(low, inclusive=False)
+        return max(0.0, upper - lower)
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for a single column."""
+
+    n_distinct: float
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    null_fraction: float = 0.0
+    avg_width: Optional[int] = None
+    histogram: Optional[Histogram] = None
+    #: Physical correlation between column order and heap order in [-1, 1];
+    #: 1.0 means the heap is clustered on this column.  Used by the index
+    #: scan cost model to blend sequential vs random heap fetches.
+    correlation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_distinct < 0:
+            raise CatalogError("n_distinct must be non-negative")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise CatalogError("null_fraction must be within [0, 1]")
+        if not -1.0 <= self.correlation <= 1.0:
+            raise CatalogError("correlation must be within [-1, 1]")
+
+    def equality_selectivity(self) -> float:
+        """Selectivity of ``column = constant`` assuming uniform distinct values."""
+        if self.n_distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return min(1.0, (1.0 - self.null_fraction) / self.n_distinct)
+
+    def range_selectivity(self, low: Optional[float], high: Optional[float]) -> float:
+        """Selectivity of ``low <= column <= high`` (either bound may be open)."""
+        if self.histogram is None or self.min_value is None or self.max_value is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        lo = self.min_value if low is None else low
+        hi = self.max_value if high is None else high
+        return self.histogram.selectivity_between(lo, hi) * (1.0 - self.null_fraction)
+
+
+class TableStatistics:
+    """Row count plus per-column statistics for one table."""
+
+    def __init__(
+        self,
+        table: Table,
+        row_count: int,
+        column_stats: Optional[Dict[str, ColumnStatistics]] = None,
+    ) -> None:
+        if row_count < 0:
+            raise CatalogError(f"row count must be non-negative, got {row_count}")
+        self.table = table
+        self.row_count = row_count
+        self.column_stats: Dict[str, ColumnStatistics] = dict(column_stats or {})
+        for name in self.column_stats:
+            if not table.has_column(name):
+                raise CatalogError(f"statistics for unknown column {table.name}.{name}")
+
+    @classmethod
+    def uniform(
+        cls,
+        table: Table,
+        row_count: int,
+        max_value: Optional[int] = None,
+        buckets: int = 20,
+    ) -> "TableStatistics":
+        """Statistics for the paper's synthetic tables.
+
+        Every column is "numeric and uniformly distributed across all
+        positive integers" up to ``max_value`` (default: the row count, so
+        key columns behave like near-unique identifiers).
+        """
+        stats: Dict[str, ColumnStatistics] = {}
+        top = max_value if max_value is not None else max(1, row_count)
+        for column in table.columns:
+            n_distinct = min(row_count, top) if row_count > 0 else 0
+            histogram = Histogram.uniform(1, top, row_count, buckets) if row_count > 0 else None
+            correlation = 1.0 if column.name == table.primary_key else 0.0
+            stats[column.name] = ColumnStatistics(
+                n_distinct=max(1, n_distinct) if row_count > 0 else 0,
+                min_value=1,
+                max_value=top,
+                null_fraction=0.0,
+                avg_width=column.storage_width,
+                histogram=histogram,
+                correlation=correlation,
+            )
+        return cls(table, row_count, stats)
+
+    def column(self, name: str) -> ColumnStatistics:
+        """Statistics for ``name``; synthesises a default entry if missing."""
+        if name in self.column_stats:
+            return self.column_stats[name]
+        if not self.table.has_column(name):
+            raise CatalogError(f"table {self.table.name!r} has no column {name!r}")
+        column = self.table.column(name)
+        return ColumnStatistics(
+            n_distinct=max(1.0, self.row_count * 0.1),
+            avg_width=column.storage_width,
+        )
+
+    def tuple_width(self, columns: Optional[Sequence[str]] = None) -> int:
+        """Width in bytes of a heap tuple restricted to ``columns``."""
+        return pages.heap_tuple_width(self.table.column_widths(columns))
+
+    @property
+    def heap_pages(self) -> int:
+        """Number of heap pages the table occupies."""
+        return pages.heap_pages(self.row_count, self.tuple_width())
+
+    @property
+    def heap_bytes(self) -> int:
+        """Table size in bytes."""
+        return self.heap_pages * pages.PAGE_SIZE
+
+    def distinct_values(self, column: str) -> float:
+        """Number of distinct values of ``column`` (>= 1 for non-empty tables)."""
+        if self.row_count == 0:
+            return 0.0
+        return max(1.0, min(self.row_count, self.column(column).n_distinct))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TableStatistics({self.table.name!r}, rows={self.row_count})"
+
+
+def statistics_from_rows(table: Table, rows: Sequence[Dict[str, object]]) -> TableStatistics:
+    """ANALYZE-style statistics computed from actual rows.
+
+    Used when the executor's generated data should drive the optimizer (the
+    scaled-down execution experiments), so estimated and actual cardinalities
+    line up.
+    """
+    column_stats: Dict[str, ColumnStatistics] = {}
+    row_count = len(rows)
+    for column in table.columns:
+        values: List[float] = []
+        nulls = 0
+        for row in rows:
+            value = row.get(column.name)
+            if value is None:
+                nulls += 1
+            else:
+                values.append(float(value))
+        if values:
+            histogram = Histogram.from_values(values)
+            column_stats[column.name] = ColumnStatistics(
+                n_distinct=float(len(set(values))),
+                min_value=min(values),
+                max_value=max(values),
+                null_fraction=nulls / row_count if row_count else 0.0,
+                avg_width=column.storage_width,
+                histogram=histogram,
+            )
+        else:
+            column_stats[column.name] = ColumnStatistics(
+                n_distinct=0.0,
+                null_fraction=1.0 if row_count else 0.0,
+                avg_width=column.storage_width,
+            )
+    return TableStatistics(table, row_count, column_stats)

@@ -1,0 +1,205 @@
+"""Command-line interface for the PINUM reproduction.
+
+The CLI exposes the library's main workflows over the built-in workload
+catalogs, so experiments can be driven without writing Python:
+
+* ``explain``    -- optimize a SQL query and print the plan,
+* ``recommend``  -- run the greedy index advisor over a workload,
+* ``cache``      -- build the INUM/PINUM plan cache for a query and report
+  its statistics (optionally saving it to JSON).
+
+Examples::
+
+    python -m repro explain --catalog tpch --sql \
+        "SELECT nation.n_name FROM nation, region \
+         WHERE nation.n_regionkey = region.r_regionkey ORDER BY nation.n_name"
+
+    python -m repro recommend --catalog star --budget-gb 5 --max-candidates 120
+    python -m repro cache --catalog star --query-number 4 --builder pinum
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.advisor import AdvisorOptions, CandidateGenerator, IndexAdvisor
+from repro.bench.harness import ExperimentTable
+from repro.catalog import Catalog
+from repro.inum import InumCacheBuilder
+from repro.inum.serialization import save_cache
+from repro.optimizer import Optimizer
+from repro.pinum import PinumCacheBuilder
+from repro.query import Query, parse_query
+from repro.util.errors import ReproError
+from repro.util.units import format_bytes, gigabytes
+from repro.workloads import StarSchemaWorkload
+from repro.workloads.tpch_like import build_tpch_like_catalog
+
+
+def _load_catalog(name: str, seed: int) -> tuple:
+    """Return ``(catalog, builtin workload queries)`` for a built-in catalog."""
+    if name == "star":
+        workload = StarSchemaWorkload(seed=seed)
+        return workload.catalog(), workload.queries()
+    if name == "tpch":
+        from repro.workloads.tpch_like import tpch_q5_like_query, tpch_small_join_query
+
+        return build_tpch_like_catalog(), [tpch_q5_like_query(), tpch_small_join_query()]
+    raise ReproError(f"unknown catalog {name!r} (expected 'star' or 'tpch')")
+
+
+def _read_queries(args: argparse.Namespace, builtin: Sequence[Query]) -> List[Query]:
+    """Queries from --sql/--sql-file, falling back to the built-in workload."""
+    if getattr(args, "sql", None):
+        return [parse_query(args.sql, name="cli_query")]
+    if getattr(args, "sql_file", None):
+        with open(args.sql_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        statements = [stmt.strip() for stmt in text.split(";") if stmt.strip()]
+        return [parse_query(stmt, name=f"file_q{i + 1}") for i, stmt in enumerate(statements)]
+    if getattr(args, "query_number", None):
+        return [builtin[args.query_number - 1]]
+    return list(builtin)
+
+
+# -- subcommands ------------------------------------------------------------------
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    catalog, builtin = _load_catalog(args.catalog, args.seed)
+    queries = _read_queries(args, builtin)
+    optimizer = Optimizer(catalog)
+    for query in queries:
+        result = optimizer.optimize(query, enable_nestloop=not args.disable_nestloop)
+        print(f"-- {query.name}")
+        print(query.to_sql())
+        print()
+        print(result.plan.explain())
+        print(f"estimated cost: {result.cost:,.2f}")
+        print()
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    catalog, builtin = _load_catalog(args.catalog, args.seed)
+    queries = _read_queries(args, builtin)
+    optimizer = Optimizer(catalog)
+    advisor = IndexAdvisor(
+        catalog,
+        optimizer,
+        AdvisorOptions(
+            space_budget_bytes=gigabytes(args.budget_gb),
+            cost_model=args.cost_model,
+            max_candidates=args.max_candidates,
+        ),
+    )
+    result = advisor.recommend(queries)
+    print(f"workload          : {len(queries)} queries over catalog {args.catalog!r}")
+    print(f"database size     : {format_bytes(catalog.database_size_bytes())}")
+    print(f"cache preparation : {result.preparation_optimizer_calls} optimizer calls "
+          f"({result.preparation_seconds:.2f}s, cost model {args.cost_model!r})")
+    print()
+    print(result.summary())
+
+    table = ExperimentTable(
+        "Per-query estimated cost",
+        ["query", "before", "after", "improvement"],
+    )
+    for query in queries:
+        before = result.per_query_cost_before[query.name]
+        after = result.per_query_cost_after[query.name]
+        improvement = 0.0 if before == 0 else 100.0 * (1 - after / before)
+        table.add_row(query.name, before, after, f"{improvement:.1f}%")
+    table.print()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    catalog, builtin = _load_catalog(args.catalog, args.seed)
+    queries = _read_queries(args, builtin)
+    optimizer = Optimizer(catalog)
+    generator = CandidateGenerator(catalog)
+    table = ExperimentTable(
+        f"Plan-cache construction ({args.builder})",
+        ["query", "IOCs enumerated/kept", "optimizer calls", "cached plans",
+         "access costs", "build (ms)"],
+    )
+    for query in queries:
+        candidates = generator.for_query(query)
+        if args.builder == "pinum":
+            cache = PinumCacheBuilder(optimizer).build_cache(query, candidates)
+        else:
+            cache = InumCacheBuilder(optimizer).build_cache(query, candidates)
+        stats = cache.build_stats
+        table.add_row(
+            query.name, stats.combinations_enumerated, stats.optimizer_calls_total,
+            cache.entry_count, len(cache.access_costs), stats.seconds_total * 1000,
+        )
+        if args.save:
+            path = f"{args.save}.{query.name}.json"
+            save_cache(cache, path)
+            print(f"saved cache for {query.name} to {path}")
+    table.print()
+    return 0
+
+
+# -- argument parsing ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PINUM reproduction: optimizer, plan caches and index advisor.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--catalog", choices=["star", "tpch"], default="star",
+                         help="built-in catalog to run against")
+        sub.add_argument("--seed", type=int, default=7, help="workload generator seed")
+        sub.add_argument("--sql", help="a single SQL query text")
+        sub.add_argument("--sql-file", help="file with ';'-separated SQL queries")
+        sub.add_argument("--query-number", type=int,
+                         help="pick one query of the built-in workload (1-based)")
+
+    explain = subparsers.add_parser("explain", help="optimize a query and print its plan")
+    add_common(explain)
+    explain.add_argument("--disable-nestloop", action="store_true",
+                         help="plan without nested-loop joins (enable_nestloop=off)")
+    explain.set_defaults(handler=_cmd_explain)
+
+    recommend = subparsers.add_parser("recommend", help="run the greedy index advisor")
+    add_common(recommend)
+    recommend.add_argument("--budget-gb", type=float, default=5.0,
+                           help="index space budget in GiB (paper: 5)")
+    recommend.add_argument("--cost-model", choices=["pinum", "inum", "optimizer"],
+                           default="pinum", help="benefit oracle for the greedy search")
+    recommend.add_argument("--max-candidates", type=int, default=120,
+                           help="cap on the candidate-index set")
+    recommend.set_defaults(handler=_cmd_recommend)
+
+    cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")
+    add_common(cache)
+    cache.add_argument("--builder", choices=["pinum", "inum"], default="pinum",
+                       help="which builder fills the cache")
+    cache.add_argument("--save", help="path prefix for saving the cache(s) as JSON")
+    cache.set_defaults(handler=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Plan execution over in-memory data.
+
+The executor interprets optimizer plan trees against a
+:class:`~repro.storage.datagen.Database` using the classic iterator-model
+operators (scans, joins, sort, aggregation).  Besides producing result rows
+it accounts for the pages each operator touches under the same storage layout
+the optimizer costs with, yielding a *simulated* execution time that the
+Figure-7 experiment compares before and after index selection.
+"""
+
+from repro.executor.stats import ExecutionResult, ExecutionStatistics
+from repro.executor.executor import PlanExecutor
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionStatistics",
+    "PlanExecutor",
+]

@@ -1,0 +1,59 @@
+"""Predicate evaluation over qualified executor rows.
+
+Executor rows are dictionaries keyed by ``"table.column"`` so joined rows
+from different tables never collide.  This module evaluates the query AST's
+single-table predicates against such rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.query.ast import Comparison, Predicate
+from repro.util.errors import ExecutionError
+
+Row = Dict[str, object]
+
+
+def qualified(table: str, column: str) -> str:
+    """The executor's row key for ``table.column``."""
+    return f"{table}.{column}"
+
+
+def qualify_row(table: str, raw: Dict[str, object]) -> Row:
+    """Convert a storage row (bare column names) into a qualified executor row."""
+    return {qualified(table, column): value for column, value in raw.items()}
+
+
+def predicate_matches(predicate: Predicate, row: Row) -> bool:
+    """Evaluate one predicate against a qualified row."""
+    key = qualified(predicate.column.table, predicate.column.column)
+    if key not in row:
+        raise ExecutionError(f"row is missing column {key!r} needed by predicate {predicate}")
+    value = row[key]
+    if value is None:
+        return False
+    if predicate.op is Comparison.EQ:
+        return value == predicate.value
+    if predicate.op is Comparison.NE:
+        return value != predicate.value
+    if predicate.op is Comparison.LT:
+        return value < predicate.value
+    if predicate.op is Comparison.LE:
+        return value <= predicate.value
+    if predicate.op is Comparison.GT:
+        return value > predicate.value
+    if predicate.op is Comparison.GE:
+        return value >= predicate.value
+    if predicate.op is Comparison.BETWEEN:
+        assert predicate.value2 is not None
+        return predicate.value <= value <= predicate.value2
+    raise ExecutionError(f"unsupported comparison {predicate.op!r}")  # pragma: no cover
+
+
+def apply_predicates(predicates: Iterable[Predicate], rows: Iterable[Row]) -> List[Row]:
+    """Filter ``rows`` by the conjunction of ``predicates``."""
+    predicates = list(predicates)
+    if not predicates:
+        return list(rows)
+    return [row for row in rows if all(predicate_matches(p, row) for p in predicates)]

@@ -1,0 +1,125 @@
+"""The access-cost side of the INUM/PINUM cache.
+
+INUM separates a query's cost into the *internal* (join + aggregation) cost
+of a cached plan and the *leaf* data-access costs, which vary with the index
+configuration being evaluated.  This module stores those leaf costs: for
+every (table, index-or-heap) pair the cost of reading the table through that
+access method, plus -- for indexes on join columns -- the cost of one
+parameterized probe, which is what nested-loop plans multiply by the outer
+cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.index import Index
+from repro.optimizer.plan import AccessPath
+from repro.util.errors import PlanningError
+
+#: Key identifying an access method: the index's structural key, or ``None``
+#: for the table's heap (sequential scan).
+AccessKey = Optional[Tuple[str, Tuple[str, ...]]]
+
+
+@dataclass(frozen=True)
+class AccessCostInfo:
+    """Cost of reading one table through one access method."""
+
+    table: str
+    index_key: AccessKey
+    full_cost: float
+    probe_cost: Optional[float] = None
+    provided_order: Optional[str] = None
+    covering: bool = False
+    rows: float = 0.0
+
+    @classmethod
+    def from_path(cls, path: AccessPath) -> "AccessCostInfo":
+        """Convert an optimizer access path into a cache record."""
+        return cls(
+            table=path.table,
+            index_key=path.index.key if path.index is not None else None,
+            full_cost=path.cost,
+            probe_cost=path.rescan_cost,
+            provided_order=path.provided_order,
+            covering=path.covering,
+            rows=path.rows,
+        )
+
+    def covers_order(self, order: Optional[str]) -> bool:
+        """Whether this access method provides the interesting order ``order``."""
+        if order is None:
+            return True
+        return self.provided_order == order
+
+
+class AccessCostTable:
+    """All access costs collected for one query."""
+
+    def __init__(self) -> None:
+        self._costs: Dict[Tuple[str, AccessKey], AccessCostInfo] = {}
+
+    def add(self, info: AccessCostInfo) -> None:
+        """Insert or overwrite the record for ``(info.table, info.index_key)``."""
+        self._costs[(info.table, info.index_key)] = info
+
+    def add_path(self, path: AccessPath) -> None:
+        """Convenience: convert and insert an optimizer access path."""
+        self.add(AccessCostInfo.from_path(path))
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def heap(self, table: str) -> AccessCostInfo:
+        """The sequential-scan record of ``table``."""
+        try:
+            return self._costs[(table, None)]
+        except KeyError:
+            raise PlanningError(
+                f"access-cost table has no sequential-scan entry for {table!r}"
+            ) from None
+
+    def has_heap(self, table: str) -> bool:
+        """Whether the sequential-scan record of ``table`` is present."""
+        return (table, None) in self._costs
+
+    def for_index(self, index: Index) -> Optional[AccessCostInfo]:
+        """The record of ``index``, or ``None`` if it was never collected."""
+        return self._costs.get((index.table, index.key))
+
+    def entries_for_table(self, table: str) -> List[AccessCostInfo]:
+        """Every collected record for ``table``."""
+        return [info for (t, _), info in self._costs.items() if t == table]
+
+    def best_access(
+        self,
+        table: str,
+        index: Optional[Index],
+        required_order: Optional[str],
+    ) -> Optional[AccessCostInfo]:
+        """Cheapest usable access for ``table`` under an atomic configuration.
+
+        ``index`` is the configuration's index on the table (or ``None``).
+        When an order is required, only an index covering that order
+        qualifies; with no required order the cheaper of the heap scan and
+        the configuration's index (if collected) is returned.  ``None`` means
+        the requirement cannot be satisfied by this configuration.
+        """
+        candidates: List[AccessCostInfo] = []
+        if required_order is None and self.has_heap(table):
+            candidates.append(self.heap(table))
+        if index is not None:
+            info = self.for_index(index)
+            if info is not None and info.covers_order(required_order):
+                candidates.append(info)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda info: info.full_cost)
+
+    def tables(self) -> List[str]:
+        """Tables that have at least one record."""
+        return sorted({table for table, _ in self._costs})

@@ -1,0 +1,125 @@
+"""Atomic configurations.
+
+Following the paper's definition 1 (borrowed from Chaudhuri & Narasayya), a
+configuration is a set of indexes, and it is *atomic* with respect to a query
+if it contains at most one index per table of the query.  INUM and PINUM cost
+models evaluate atomic configurations; richer configurations are handled by
+the index advisor, which decomposes them into the best atomic choice per
+query (standard INUM practice, also how the greedy tool of Section V-E uses
+the cache).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.query.ast import Query
+from repro.util.errors import PlanningError
+
+
+class AtomicConfiguration:
+    """An immutable set of indexes with at most one index per table."""
+
+    def __init__(self, indexes: Sequence[Index] = ()) -> None:
+        by_table: Dict[str, Index] = {}
+        for index in indexes:
+            if index.table in by_table and by_table[index.table] != index:
+                raise PlanningError(
+                    f"atomic configuration has two indexes on table {index.table!r}: "
+                    f"{by_table[index.table].name!r} and {index.name!r}"
+                )
+            by_table[index.table] = index
+        self._by_table: Dict[str, Index] = dict(sorted(by_table.items()))
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def indexes(self) -> Tuple[Index, ...]:
+        """The configuration's indexes, sorted by table name."""
+        return tuple(self._by_table.values())
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """Tables that have an index in this configuration."""
+        return tuple(self._by_table)
+
+    def index_for(self, table: str) -> Optional[Index]:
+        """The configuration's index on ``table``, or ``None``."""
+        return self._by_table.get(table)
+
+    def __len__(self) -> int:
+        return len(self._by_table)
+
+    def __iter__(self):
+        return iter(self.indexes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomicConfiguration):
+            return NotImplemented
+        return self._by_table == other._by_table
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((t, i.key) for t, i in self._by_table.items())))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{t}({','.join(i.columns)})" for t, i in self._by_table.items())
+        return f"AtomicConfiguration[{rendered or 'empty'}]"
+
+    # -- semantics --------------------------------------------------------------
+
+    def covers(self, ioc: InterestingOrderCombination) -> bool:
+        """Whether this configuration covers the interesting-order combination.
+
+        Per definition 4: for every table with a non-empty required order,
+        the configuration must have an index on that table whose *leading*
+        column is the required order.  Tables with the empty order Phi are
+        unconstrained.
+        """
+        for table, order in ioc.non_empty_orders:
+            index = self.index_for(table)
+            if index is None or not index.covers_order(order):
+                return False
+        return True
+
+    def size_in_bytes(self, catalog: Catalog) -> int:
+        """Total size of the configuration's indexes under the catalog's statistics."""
+        return sum(catalog.index_size_bytes(index) for index in self.indexes)
+
+    def restricted_to(self, tables: Iterable[str]) -> "AtomicConfiguration":
+        """The sub-configuration touching only ``tables``."""
+        wanted = set(tables)
+        return AtomicConfiguration([i for i in self.indexes if i.table in wanted])
+
+
+def enumerate_atomic_configurations(
+    query: Query,
+    candidates: Sequence[Index],
+    include_empty_choice: bool = True,
+    limit: Optional[int] = None,
+) -> List[AtomicConfiguration]:
+    """Enumerate atomic configurations drawn from ``candidates``.
+
+    For every table of the query the choice is one of its candidate indexes
+    (or, when ``include_empty_choice`` is set, no index at all).  The
+    cartesian product can be large, so ``limit`` optionally truncates the
+    enumeration (used only for reporting, never for correctness).
+    """
+    per_table: List[List[Optional[Index]]] = []
+    for table in query.tables:
+        table_candidates: List[Optional[Index]] = [None] if include_empty_choice else []
+        table_candidates.extend(c for c in candidates if c.table == table)
+        if not table_candidates:
+            table_candidates = [None]
+        per_table.append(table_candidates)
+
+    configurations: List[AtomicConfiguration] = []
+    for picks in itertools.product(*per_table):
+        chosen = [index for index in picks if index is not None]
+        configurations.append(AtomicConfiguration(chosen))
+        if limit is not None and len(configurations) >= limit:
+            break
+    return configurations

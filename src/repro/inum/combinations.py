@@ -1,0 +1,66 @@
+"""Helpers for turning interesting-order combinations into probing configurations.
+
+Classic INUM fills its cache by enumerating all interesting-order
+combinations and "invok[ing] the optimizer for each one of them ... after
+creating indexes covering those interesting orders" (Section V-D).  The
+functions here build exactly those covering what-if indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.catalog.index import Index
+from repro.inum.atomic_config import AtomicConfiguration
+from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.query.ast import Query
+
+
+def covering_indexes_for(
+    query: Query,
+    ioc: InterestingOrderCombination,
+    include_referenced_columns: bool = False,
+) -> List[Index]:
+    """What-if indexes covering every non-empty order of ``ioc``.
+
+    Each covering index has the interesting-order column first; when
+    ``include_referenced_columns`` is set the remaining referenced columns of
+    the table are appended, turning the index into a covering index for the
+    query (this is the shape the index advisor's candidates take, but the
+    plain single-column version suffices for cache probing).
+    """
+    indexes: List[Index] = []
+    for table, order in sorted(ioc.non_empty_orders):
+        columns: List[str] = [order]
+        if include_referenced_columns:
+            for column in query.columns_of(table):
+                if column not in columns:
+                    columns.append(column)
+        indexes.append(Index(table=table, columns=columns, hypothetical=True))
+    return indexes
+
+
+def covering_configuration(
+    query: Query,
+    ioc: InterestingOrderCombination,
+    include_referenced_columns: bool = False,
+) -> AtomicConfiguration:
+    """The atomic configuration made of :func:`covering_indexes_for`'s indexes."""
+    return AtomicConfiguration(
+        covering_indexes_for(query, ioc, include_referenced_columns)
+    )
+
+
+def candidate_probe_indexes(query: Query) -> List[Index]:
+    """One single-column what-if index per interesting order of the query.
+
+    This is the pool INUM/PINUM access-cost collection starts from; the index
+    advisor generates a richer candidate set (multi-column and covering
+    indexes) in :mod:`repro.advisor.candidates`.
+    """
+    seen: Dict[tuple, Index] = {}
+    for table in query.tables:
+        for column in query.columns_of(table):
+            index = Index(table=table, columns=[column], hypothetical=True)
+            seen.setdefault(index.key, index)
+    return list(seen.values())

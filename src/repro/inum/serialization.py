@@ -1,0 +1,184 @@
+"""Serialization of plan caches to and from plain JSON-able dictionaries.
+
+The paper motivates cheap cache construction partly by *online* physical
+design, where caches must be built (and kept) per query as the workload
+arrives.  Persisting a cache between designer runs makes the construction
+cost a one-time expense; this module provides the stable on-disk format.
+
+Only the information the cost model needs is stored: per-entry internal
+costs, symbolic leaf slots and the access-cost table.  The original plan
+trees are not persisted (they are only useful for debugging); a round-tripped
+cache therefore answers `estimate()` identically but reports
+``unique_plan_count()`` from the preserved structural summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.inum.access_costs import AccessCostInfo
+from repro.inum.cache import CacheBuildStatistics, CacheEntry, CachedSlot, InumCache
+from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.optimizer.plan import PlanSummary
+from repro.query.ast import Query
+from repro.util.errors import PlanningError
+
+#: Format version written into every serialized cache.
+FORMAT_VERSION = 1
+
+
+def cache_to_dict(cache: InumCache) -> Dict[str, Any]:
+    """Convert a cache into a JSON-able dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "query_name": cache.query.name,
+        "entries": [_entry_to_dict(entry) for entry in cache.entries],
+        "access_costs": [_access_cost_to_dict(info)
+                         for table in cache.access_costs.tables()
+                         for info in cache.access_costs.entries_for_table(table)],
+        "build_stats": {
+            "optimizer_calls_plans": cache.build_stats.optimizer_calls_plans,
+            "optimizer_calls_access_costs": cache.build_stats.optimizer_calls_access_costs,
+            "seconds_plans": cache.build_stats.seconds_plans,
+            "seconds_access_costs": cache.build_stats.seconds_access_costs,
+            "combinations_enumerated": cache.build_stats.combinations_enumerated,
+            "entries_cached": cache.build_stats.entries_cached,
+            "unique_plans": cache.build_stats.unique_plans,
+        },
+    }
+
+
+def cache_from_dict(payload: Dict[str, Any], query: Query) -> InumCache:
+    """Rebuild a cache from :func:`cache_to_dict`'s output.
+
+    ``query`` must be the same query the cache was built for (matched by
+    name); the caller owns query storage because queries are first-class
+    objects in this library, not strings.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PlanningError(f"unsupported cache format version {version!r}")
+    if payload.get("query_name") != query.name:
+        raise PlanningError(
+            f"cache was built for query {payload.get('query_name')!r}, "
+            f"not {query.name!r}"
+        )
+    cache = InumCache(query)
+    for entry_payload in payload.get("entries", []):
+        cache.add_entry(_entry_from_dict(entry_payload))
+    for info_payload in payload.get("access_costs", []):
+        cache.access_costs.add(_access_cost_from_dict(info_payload))
+    stats = payload.get("build_stats", {})
+    cache.build_stats = CacheBuildStatistics(
+        optimizer_calls_plans=int(stats.get("optimizer_calls_plans", 0)),
+        optimizer_calls_access_costs=int(stats.get("optimizer_calls_access_costs", 0)),
+        seconds_plans=float(stats.get("seconds_plans", 0.0)),
+        seconds_access_costs=float(stats.get("seconds_access_costs", 0.0)),
+        combinations_enumerated=int(stats.get("combinations_enumerated", 0)),
+        entries_cached=int(stats.get("entries_cached", 0)),
+        unique_plans=int(stats.get("unique_plans", 0)),
+    )
+    return cache
+
+
+def save_cache(cache: InumCache, path: str) -> None:
+    """Write a cache to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(cache_to_dict(cache), handle, indent=2, sort_keys=True)
+
+
+def load_cache(path: str, query: Query) -> InumCache:
+    """Read a cache previously written by :func:`save_cache`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return cache_from_dict(payload, query)
+
+
+# -- entry / slot / access-cost conversion helpers --------------------------------
+
+
+def _entry_to_dict(entry: CacheEntry) -> Dict[str, Any]:
+    return {
+        "ioc": {table: order for table, order in entry.ioc.as_dict().items()},
+        "internal_cost": entry.internal_cost,
+        "uses_nestloop": entry.uses_nestloop,
+        "source": entry.source,
+        "slots": [
+            {
+                "table": slot.table,
+                "required_order": slot.required_order,
+                "multiplier": slot.multiplier,
+                "parameterized": slot.parameterized,
+            }
+            for slot in entry.slots
+        ],
+        "summary": _summary_to_dict(entry.summary),
+    }
+
+
+def _entry_from_dict(payload: Dict[str, Any]) -> CacheEntry:
+    slots = tuple(
+        CachedSlot(
+            table=slot["table"],
+            required_order=slot.get("required_order"),
+            multiplier=float(slot.get("multiplier", 1.0)),
+            parameterized=bool(slot.get("parameterized", False)),
+        )
+        for slot in payload.get("slots", [])
+    )
+    return CacheEntry(
+        ioc=InterestingOrderCombination(dict(payload["ioc"])),
+        internal_cost=float(payload["internal_cost"]),
+        slots=slots,
+        uses_nestloop=bool(payload.get("uses_nestloop", False)),
+        source=str(payload.get("source", "unknown")),
+        plan=None,
+        summary=_summary_from_dict(payload.get("summary")),
+    )
+
+
+def _summary_to_dict(summary: Optional[PlanSummary]) -> Optional[Dict[str, Any]]:
+    if summary is None:
+        return None
+    return {
+        "operators": list(summary.operators),
+        "leaves": [list(leaf) for leaf in summary.leaves],
+        "internal_cost": summary.internal_cost,
+    }
+
+
+def _summary_from_dict(payload: Optional[Dict[str, Any]]) -> Optional[PlanSummary]:
+    if payload is None:
+        return None
+    return PlanSummary(
+        operators=tuple(payload.get("operators", [])),
+        leaves=tuple(tuple(leaf) for leaf in payload.get("leaves", [])),
+        internal_cost=float(payload.get("internal_cost", 0.0)),
+    )
+
+
+def _access_cost_to_dict(info: AccessCostInfo) -> Dict[str, Any]:
+    return {
+        "table": info.table,
+        "index_key": None if info.index_key is None else [info.index_key[0], list(info.index_key[1])],
+        "full_cost": info.full_cost,
+        "probe_cost": info.probe_cost,
+        "provided_order": info.provided_order,
+        "covering": info.covering,
+        "rows": info.rows,
+    }
+
+
+def _access_cost_from_dict(payload: Dict[str, Any]) -> AccessCostInfo:
+    raw_key = payload.get("index_key")
+    index_key = None if raw_key is None else (raw_key[0], tuple(raw_key[1]))
+    return AccessCostInfo(
+        table=payload["table"],
+        index_key=index_key,
+        full_cost=float(payload["full_cost"]),
+        probe_cost=None if payload.get("probe_cost") is None else float(payload["probe_cost"]),
+        provided_order=payload.get("provided_order"),
+        covering=bool(payload.get("covering", False)),
+        rows=float(payload.get("rows", 0.0)),
+    )

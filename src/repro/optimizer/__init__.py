@@ -1,0 +1,43 @@
+"""A PostgreSQL-style bottom-up dynamic-programming query optimizer.
+
+The architecture mirrors Figure 2 of the paper:
+
+* :mod:`repro.optimizer.access_paths` -- the Access Path Collector,
+* :mod:`repro.optimizer.joinplanner` -- the dynamic-programming Join Planner,
+* :mod:`repro.optimizer.grouping_planner` -- the Grouping Planner,
+* :mod:`repro.optimizer.subquery_planner` -- the Sub-query Planner,
+* :mod:`repro.optimizer.optimizer` -- the top-level entry point,
+
+plus the pieces they share: the cost model, selectivity estimation, plan
+nodes, interesting orders, the ``enable_nestloop`` switch and the optimizer
+hooks (:mod:`repro.optimizer.hooks`) PINUM uses to harvest intermediate
+plans and access paths (Figure 3).
+"""
+
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.optimizer.hooks import OptimizerHooks
+from repro.optimizer.interesting_orders import (
+    InterestingOrderCombination,
+    enumerate_combinations,
+    interesting_orders_for,
+)
+from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptimizerOptions
+from repro.optimizer.plan import AccessPath, PlanNode
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "AccessPath",
+    "CostModel",
+    "CostParameters",
+    "InterestingOrderCombination",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerHooks",
+    "OptimizerOptions",
+    "PlanNode",
+    "SelectivityEstimator",
+    "WhatIfOptimizer",
+    "enumerate_combinations",
+    "interesting_orders_for",
+]

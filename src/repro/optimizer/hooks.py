@@ -1,0 +1,73 @@
+"""Optimizer hooks: the small instrumentation surface PINUM adds.
+
+Figure 3 of the paper shows the modified optimizer exporting two new data
+flows to the caller: *all* index access costs from the Access Path Collector
+and *all* per-interesting-order-combination plans from the Join Planner.  The
+paper stresses that the changes are minimal ("requires only touching three
+files"); here they are a single options object the optimizer consults at the
+two existing decision points.
+
+The hooks also double as collection buffers: after an optimizer call the
+caller reads ``collected_access_paths`` and ``collected_plans`` (the
+"piggy-backed" intermediate results of Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.interesting_orders import InterestingOrderCombination
+    from repro.optimizer.plan import AccessPath, PlanNode
+
+
+@dataclass
+class OptimizerHooks:
+    """Switches and buffers for PINUM's optimizer extensions.
+
+    ``keep_all_access_paths``
+        Section V-C: the Access Path Collector normally keeps only the
+        cheapest access path per interesting order; with this switch it keeps
+        (and exports) an access path for *every* visible index, so a single
+        optimizer call yields the access costs of an arbitrarily large
+        what-if index set.
+
+    ``keep_all_ioc_plans``
+        Section V-D: the Join Planner normally discards sub-plans that are
+        dominated by cheaper plans with more specific interesting orders;
+        with this switch the top DP level retains the best plan for *every*
+        interesting-order combination and exports them all.
+
+    ``subsumption_pruning``
+        The paper's pruning rule: if plan A requires interesting-order set
+        S_A, plan B requires S_B, S_A is a subset of S_B and A is cheaper,
+        then B can never be the best choice for any configuration, so it is
+        dropped.  Only meaningful together with ``keep_all_ioc_plans``.
+    """
+
+    keep_all_access_paths: bool = False
+    keep_all_ioc_plans: bool = False
+    subsumption_pruning: bool = True
+
+    #: Access paths exported by the Access Path Collector (one per visible
+    #: index per table, plus the sequential-scan path).
+    collected_access_paths: List["AccessPath"] = field(default_factory=list)
+    #: Finalised plans exported by the Grouping Planner, keyed by the
+    #: interesting-order combination their leaf access paths require.
+    collected_plans: Dict["InterestingOrderCombination", "PlanNode"] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Clear the collection buffers before a new optimizer call."""
+        self.collected_access_paths = []
+        self.collected_plans = {}
+
+    @classmethod
+    def pinum_defaults(cls) -> "OptimizerHooks":
+        """The hook configuration PINUM uses for its single cache-filling call."""
+        return cls(keep_all_access_paths=True, keep_all_ioc_plans=True, subsumption_pruning=True)
+
+    @classmethod
+    def disabled(cls) -> "OptimizerHooks":
+        """Plain PostgreSQL behaviour (what classic INUM talks to)."""
+        return cls(keep_all_access_paths=False, keep_all_ioc_plans=False)

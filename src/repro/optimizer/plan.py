@@ -1,0 +1,351 @@
+"""Plan trees: access paths, operator nodes and the INUM cost decomposition.
+
+A plan is a tree whose internal nodes are join/sort/aggregate operators and
+whose leaves are *access paths* (sequential scan or index scan of one table).
+Besides the usual cost/cardinality annotations, every plan can report
+
+* the interesting-order combination its leaf access paths provide
+  (:meth:`PlanNode.required_ioc`) -- the cache key INUM and PINUM use, and
+* its *internal cost* (:meth:`PlanNode.internal_cost`): total cost minus the
+  leaf access costs.  INUM's observation 1 (Section II) is that for plans
+  containing only hash and merge joins this internal cost is independent of
+  how the leaf data is accessed, so the total cost of the same plan under a
+  different index configuration is ``internal + sum of new access costs``.
+
+Nested-loop joins break the "accessed once" assumption: their inner side is
+re-probed once per outer row.  Leaf slots therefore carry a multiplier and a
+per-probe cost so the decomposition stays exact (and the cache can re-cost
+NLJ plans, the part of INUM that needs extra optimizer calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.catalog.index import Index
+from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.query.ast import ColumnRef, JoinPredicate
+from repro.util.errors import PlanningError
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One way of reading one table.
+
+    ``cost`` is the cost of a single full execution of the path (reading all
+    qualifying rows); ``rescan_cost`` is the cost of one parameterized probe
+    when the path is an index scan usable as the inner side of a nested-loop
+    join on its leading column (``None`` otherwise).
+    """
+
+    table: str
+    method: str  # "seqscan" or "indexscan"
+    cost: float
+    rows: float
+    index: Optional[Index] = None
+    provided_order: Optional[str] = None
+    covering: bool = False
+    rescan_cost: Optional[float] = None
+    rows_per_probe: float = 0.0
+    selectivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.method not in ("seqscan", "indexscan"):
+            raise PlanningError(f"unknown access method {self.method!r}")
+        if self.method == "indexscan" and self.index is None:
+            raise PlanningError("index scans must reference an index")
+        if self.cost < 0 or self.rows < 0:
+            raise PlanningError("access path cost and rows must be non-negative")
+
+    @property
+    def supports_probe(self) -> bool:
+        """Whether the path can serve as a parameterized nested-loop inner."""
+        return self.rescan_cost is not None
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        if self.method == "seqscan":
+            return f"SeqScan({self.table}) cost={self.cost:.2f} rows={self.rows:.0f}"
+        assert self.index is not None
+        order = f" order={self.provided_order}" if self.provided_order else ""
+        return (
+            f"IndexScan({self.table} using {self.index.name}) "
+            f"cost={self.cost:.2f} rows={self.rows:.0f}{order}"
+        )
+
+
+@dataclass(frozen=True)
+class LeafSlot:
+    """One leaf of a plan together with how often it is executed.
+
+    ``multiplier`` is 1 for leaves read once; for the inner side of a
+    nested-loop join it is the number of outer rows and ``parameterized`` is
+    True, in which case the per-execution cost is the path's ``rescan_cost``.
+    """
+
+    table: str
+    path: AccessPath
+    multiplier: float = 1.0
+    parameterized: bool = False
+
+    @property
+    def contribution(self) -> float:
+        """Total access cost this leaf contributes to the plan."""
+        if self.parameterized:
+            if self.path.rescan_cost is None:
+                raise PlanningError(
+                    f"leaf on {self.table!r} is parameterized but has no rescan cost"
+                )
+            return self.multiplier * self.path.rescan_cost
+        return self.path.cost
+
+
+class PlanNode:
+    """Base class of all plan operators."""
+
+    node_type: str = "abstract"
+
+    def __init__(
+        self,
+        children: Sequence["PlanNode"],
+        total_cost: float,
+        rows: float,
+        output_order: FrozenSet[ColumnRef] = frozenset(),
+    ) -> None:
+        if total_cost < 0:
+            raise PlanningError(f"{self.node_type} node has negative cost {total_cost}")
+        if rows < 0:
+            raise PlanningError(f"{self.node_type} node has negative row estimate {rows}")
+        self.children: Tuple["PlanNode", ...] = tuple(children)
+        self.total_cost = float(total_cost)
+        self.rows = float(rows)
+        #: Columns (an equivalence set) the output is sorted on; empty when
+        #: the output order is unspecified.
+        self.output_order = frozenset(output_order)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        """Every base table appearing under this node."""
+        result: set = set()
+        for child in self.children:
+            result |= child.tables
+        return frozenset(result)
+
+    def leaf_slots(self) -> List[LeafSlot]:
+        """The leaf access paths under this node with their multipliers."""
+        slots: List[LeafSlot] = []
+        for child in self.children:
+            slots.extend(child.leaf_slots())
+        return slots
+
+    def walk(self) -> List["PlanNode"]:
+        """Pre-order traversal of the plan tree."""
+        nodes: List["PlanNode"] = [self]
+        for child in self.children:
+            nodes.extend(child.walk())
+        return nodes
+
+    # -- INUM decomposition ------------------------------------------------------
+
+    def access_cost(self) -> float:
+        """Sum of the leaf access-cost contributions."""
+        return sum(slot.contribution for slot in self.leaf_slots())
+
+    def internal_cost(self) -> float:
+        """Join/sort/aggregation cost independent of the leaf access paths."""
+        return max(0.0, self.total_cost - self.access_cost())
+
+    def required_ioc(self) -> InterestingOrderCombination:
+        """The interesting-order combination the plan's leaves provide."""
+        orders: Dict[str, Optional[str]] = {}
+        for slot in self.leaf_slots():
+            orders[slot.table] = slot.path.provided_order
+        if not orders:
+            raise PlanningError("plan has no leaf access paths")
+        return InterestingOrderCombination(orders)
+
+    def uses_nested_loop(self) -> bool:
+        """Whether any node of the tree is a nested-loop join."""
+        return any(node.node_type == "nestloop" for node in self.walk())
+
+    def indexes_used(self) -> List[Index]:
+        """Every index referenced by a leaf of the plan."""
+        return [slot.path.index for slot in self.leaf_slots() if slot.path.index is not None]
+
+    # -- rendering -----------------------------------------------------------------
+
+    def _label(self) -> str:
+        return f"{self.node_type} (cost={self.total_cost:.2f} rows={self.rows:.0f})"
+
+    def explain(self, indent: int = 0) -> str:
+        """EXPLAIN-style indented textual rendering of the plan."""
+        lines = ["  " * indent + self._label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.__class__.__name__} cost={self.total_cost:.2f} rows={self.rows:.0f}>"
+
+
+class ScanNode(PlanNode):
+    """A leaf: one access path, possibly parameterized by an outer join key."""
+
+    node_type = "scan"
+
+    def __init__(
+        self,
+        path: AccessPath,
+        multiplier: float = 1.0,
+        parameterized: bool = False,
+        filter_columns: Sequence[str] = (),
+    ) -> None:
+        if parameterized and path.rescan_cost is None:
+            raise PlanningError("cannot parameterize a path without a rescan cost")
+        cost = multiplier * path.rescan_cost if parameterized else path.cost
+        rows = path.rows_per_probe if parameterized else path.rows
+        order = (
+            frozenset({ColumnRef(path.table, path.provided_order)})
+            if path.provided_order is not None
+            else frozenset()
+        )
+        super().__init__((), cost, rows, order)
+        self.path = path
+        self.multiplier = multiplier
+        self.parameterized = parameterized
+        self.filter_columns = tuple(filter_columns)
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        return frozenset({self.path.table})
+
+    def leaf_slots(self) -> List[LeafSlot]:
+        return [LeafSlot(self.path.table, self.path, self.multiplier, self.parameterized)]
+
+    def _label(self) -> str:
+        suffix = " (parameterized)" if self.parameterized else ""
+        return f"{self.path.describe()}{suffix}"
+
+
+class SortNode(PlanNode):
+    """Explicit sort of its single child on ``sort_columns``."""
+
+    node_type = "sort"
+
+    def __init__(self, child: PlanNode, sort_columns: Sequence[ColumnRef], total_cost: float) -> None:
+        super().__init__((child,), total_cost, child.rows, frozenset(sort_columns))
+        self.sort_columns = tuple(sort_columns)
+
+    def _label(self) -> str:
+        columns = ", ".join(str(c) for c in self.sort_columns)
+        return f"Sort [{columns}] (cost={self.total_cost:.2f} rows={self.rows:.0f})"
+
+
+class JoinNode(PlanNode):
+    """Common base for binary join operators."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        join: JoinPredicate,
+        total_cost: float,
+        rows: float,
+        output_order: FrozenSet[ColumnRef] = frozenset(),
+    ) -> None:
+        super().__init__((outer, inner), total_cost, rows, output_order)
+        self.join = join
+
+    @property
+    def outer(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def inner(self) -> PlanNode:
+        return self.children[1]
+
+    def _label(self) -> str:
+        return (
+            f"{self.node_type.replace('_', ' ').title()} on {self.join} "
+            f"(cost={self.total_cost:.2f} rows={self.rows:.0f})"
+        )
+
+
+class HashJoinNode(JoinNode):
+    """Hash join (build on inner, probe with outer); output order is lost."""
+
+    node_type = "hashjoin"
+
+
+class MergeJoinNode(JoinNode):
+    """Merge join of two inputs sorted on the join keys."""
+
+    node_type = "mergejoin"
+
+
+class NestLoopJoinNode(JoinNode):
+    """Nested-loop join; the inner child is typically a parameterized scan."""
+
+    node_type = "nestloop"
+
+
+class AggregateNode(PlanNode):
+    """Grouping/aggregation over its single child ('hashed' or 'sorted')."""
+
+    node_type = "aggregate"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        strategy: str,
+        group_columns: Sequence[ColumnRef],
+        total_cost: float,
+        rows: float,
+    ) -> None:
+        if strategy not in ("hashed", "sorted", "plain"):
+            raise PlanningError(f"unknown aggregation strategy {strategy!r}")
+        order = child.output_order if strategy == "sorted" else frozenset(group_columns)
+        if strategy == "hashed":
+            order = frozenset()
+        super().__init__((child,), total_cost, rows, order)
+        self.strategy = strategy
+        self.group_columns = tuple(group_columns)
+
+    def _label(self) -> str:
+        columns = ", ".join(str(c) for c in self.group_columns) or "*"
+        return (
+            f"Aggregate[{self.strategy}] by [{columns}] "
+            f"(cost={self.total_cost:.2f} rows={self.rows:.0f})"
+        )
+
+
+@dataclass
+class PlanSummary:
+    """A compact, comparison-friendly digest of a plan's structure.
+
+    Two optimizer calls that produce structurally identical plans (same join
+    order, join methods and access paths) yield equal summaries; Section IV's
+    "648 optimizer calls but only 64 unique plans" observation is measured by
+    collecting these summaries into a set.
+    """
+
+    operators: Tuple[str, ...]
+    leaves: Tuple[Tuple[str, str, Optional[str]], ...]
+    internal_cost: float = field(compare=False, default=0.0)
+
+    @classmethod
+    def of(cls, plan: PlanNode) -> "PlanSummary":
+        operators = tuple(node.node_type for node in plan.walk() if node.node_type != "scan")
+        leaves = tuple(
+            (slot.table, slot.path.method,
+             slot.path.index.name if slot.path.index else None)
+            for slot in sorted(plan.leaf_slots(), key=lambda s: s.table)
+        )
+        return cls(operators=operators, leaves=leaves, internal_cost=plan.internal_cost())
+
+    def structural_key(self) -> Tuple:
+        """Hashable key ignoring costs (used to count unique plans)."""
+        return (self.operators, self.leaves)

@@ -1,0 +1,61 @@
+"""The what-if interface: cost a query under a hypothetical index configuration.
+
+This is the designer-facing API of Section V-A: given a set of (possibly
+hypothetical) indexes, temporarily make them visible to the optimizer and ask
+for the query's optimal plan and cost.  INUM's classic cache builder and all
+of the accuracy experiments consume this interface; PINUM's point is to need
+far fewer passes through it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.catalog.index import Index
+from repro.optimizer.hooks import OptimizerHooks
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.query.ast import Query
+
+
+class WhatIfOptimizer:
+    """Thin wrapper around :class:`Optimizer` for configuration probing."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self._optimizer = optimizer
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The wrapped optimizer (for call-count inspection)."""
+        return self._optimizer
+
+    def optimize_with_configuration(
+        self,
+        query: Query,
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+        enable_nestloop: Optional[bool] = None,
+        hooks: Optional[OptimizerHooks] = None,
+    ) -> OptimizationResult:
+        """Optimize ``query`` as if ``indexes`` existed.
+
+        ``exclusive=True`` (the default) makes the given configuration the
+        *only* visible index set -- the semantics INUM needs when probing an
+        atomic configuration.  ``exclusive=False`` layers the indexes on top
+        of whatever is already defined.
+        """
+        catalog = self._optimizer.catalog
+        overlay = catalog.only_indexes(indexes) if exclusive else catalog.with_indexes(indexes)
+        with overlay:
+            return self._optimizer.optimize(query, hooks=hooks, enable_nestloop=enable_nestloop)
+
+    def cost_with_configuration(
+        self,
+        query: Query,
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+        enable_nestloop: Optional[bool] = None,
+    ) -> float:
+        """Optimal cost of ``query`` under the hypothetical configuration."""
+        return self.optimize_with_configuration(
+            query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop
+        ).cost

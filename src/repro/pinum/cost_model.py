@@ -1,0 +1,31 @@
+"""PINUM's cache-based cost model.
+
+PINUM does not change *how* costs are derived from the cache -- that is
+INUM's linear decomposition (internal cost plus configuration-dependent
+access costs).  What changes is how cheaply the cache is produced.  The class
+below therefore inherits the estimation logic unchanged; having a distinct
+type keeps call sites honest about which pipeline produced their cache and
+gives the PINUM-specific docs a home.
+"""
+
+from __future__ import annotations
+
+from repro.inum.cache import InumCache
+from repro.inum.cost_estimation import InumCostModel
+
+
+class PinumCostModel(InumCostModel):
+    """Cost model over a PINUM-built cache (same arithmetic as INUM's)."""
+
+    def __init__(self, cache: InumCache) -> None:
+        super().__init__(cache)
+
+    @property
+    def build_optimizer_calls(self) -> int:
+        """Optimizer calls spent building the underlying cache."""
+        return self.cache.build_stats.optimizer_calls_total
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds spent building the underlying cache."""
+        return self.cache.build_stats.seconds_total

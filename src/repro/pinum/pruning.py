@@ -1,0 +1,16 @@
+"""The subsumption pruning rule of Section V-D.
+
+"If plans A and B provide interesting orders in set S_A and S_B, where
+S_A is a subset of S_B and Cost(S_A) < Cost(S_B), then we remove plan B" --
+a plan that needs *more* interesting orders than a cheaper alternative can
+never win under any configuration (every configuration covering S_B also
+covers S_A), so carrying it in the cache only wastes space and lookup time.
+
+The rule is implemented inside the join planner (it reduces the search space
+there, as the paper intends) and re-exported here as the public PINUM API so
+the ablation benchmark and tests can exercise it directly on plan sets.
+"""
+
+from repro.optimizer.joinplanner import prune_subsumed_plans
+
+__all__ = ["prune_subsumed_plans"]

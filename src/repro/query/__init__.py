@@ -1,0 +1,27 @@
+"""Query representation: AST, fluent builder, a small SQL parser, preprocessor."""
+
+from repro.query.ast import (
+    Aggregate,
+    ColumnRef,
+    Comparison,
+    JoinPredicate,
+    OrderByItem,
+    Predicate,
+    Query,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+from repro.query.preprocessor import QueryPreprocessor
+
+__all__ = [
+    "Aggregate",
+    "ColumnRef",
+    "Comparison",
+    "JoinPredicate",
+    "OrderByItem",
+    "Predicate",
+    "Query",
+    "QueryBuilder",
+    "QueryPreprocessor",
+    "parse_query",
+]

@@ -1,0 +1,266 @@
+"""Abstract syntax for the supported query class.
+
+PINUM's implementation "does not address queries containing complex
+sub-queries, inheritance, and outer joins" (Section VI-A); the supported
+class is select-project-join queries with conjunctive single-table
+predicates, equi-joins, group-by, aggregates and order-by.  That is exactly
+the class this AST models.  Everything is immutable so queries can be used as
+dictionary keys by the plan caches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.util.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A fully qualified column reference ``table.column``."""
+
+    table: str
+    column: str
+
+    def __post_init__(self) -> None:
+        if not self.table or not self.column:
+            raise QueryError("column references must have both a table and a column")
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class Comparison(enum.Enum):
+    """Comparison operators supported in single-table predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comparison.{self.name}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-table predicate ``column <op> value`` (or BETWEEN value/value2)."""
+
+    column: ColumnRef
+    op: Comparison
+    value: float
+    value2: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op is Comparison.BETWEEN and self.value2 is None:
+            raise QueryError("BETWEEN predicates need both bounds")
+        if self.op is not Comparison.BETWEEN and self.value2 is not None:
+            raise QueryError(f"{self.op.value!r} predicates take a single value")
+
+    @property
+    def table(self) -> str:
+        """The table this predicate restricts."""
+        return self.column.table
+
+    def __str__(self) -> str:
+        if self.op is Comparison.BETWEEN:
+            return f"{self.column} BETWEEN {self.value} AND {self.value2}"
+        return f"{self.column} {self.op.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left = right`` between two tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __post_init__(self) -> None:
+        if self.left.table == self.right.table:
+            raise QueryError(
+                f"join predicate must reference two different tables, got {self.left.table!r}"
+            )
+
+    @property
+    def tables(self) -> FrozenSet[str]:
+        """The two tables the predicate connects."""
+        return frozenset({self.left.table, self.right.table})
+
+    def column_for(self, table: str) -> ColumnRef:
+        """The side of the predicate belonging to ``table``."""
+        if self.left.table == table:
+            return self.left
+        if self.right.table == table:
+            return self.right
+        raise QueryError(f"join predicate {self} does not involve table {table!r}")
+
+    def other(self, table: str) -> ColumnRef:
+        """The side of the predicate *not* belonging to ``table``."""
+        if self.left.table == table:
+            return self.right
+        if self.right.table == table:
+            return self.left
+        raise QueryError(f"join predicate {self} does not involve table {table!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+class AggregateFunction(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate expression in the select list (``COUNT(*)`` has no column)."""
+
+    func: AggregateFunction
+    column: Optional[ColumnRef] = None
+
+    def __post_init__(self) -> None:
+        if self.func is not AggregateFunction.COUNT and self.column is None:
+            raise QueryError(f"{self.func.value} requires a column argument")
+
+    def __str__(self) -> str:
+        arg = "*" if self.column is None else str(self.column)
+        return f"{self.func.value}({arg})"
+
+
+@dataclass(frozen=True)
+class OrderByItem:
+    """One entry of the ORDER BY clause."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable select-project-join query.
+
+    ``tables`` is the FROM list; ``joins`` are equi-join predicates between
+    those tables; ``filters`` are conjunctive single-table predicates.
+    """
+
+    name: str
+    tables: Tuple[str, ...]
+    select_columns: Tuple[ColumnRef, ...] = ()
+    aggregates: Tuple[Aggregate, ...] = ()
+    filters: Tuple[Predicate, ...] = ()
+    joins: Tuple[JoinPredicate, ...] = ()
+    group_by: Tuple[ColumnRef, ...] = ()
+    order_by: Tuple[OrderByItem, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError(f"query {self.name!r} must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError(f"query {self.name!r} lists a table twice (self-joins unsupported)")
+        if not self.select_columns and not self.aggregates:
+            raise QueryError(f"query {self.name!r} selects nothing")
+        table_set = set(self.tables)
+        for ref in self.referenced_columns():
+            if ref.table not in table_set:
+                raise QueryError(
+                    f"query {self.name!r} references {ref} but {ref.table!r} is not in FROM"
+                )
+
+    # -- column bookkeeping -------------------------------------------------
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        """Every column reference appearing anywhere in the query."""
+        refs: List[ColumnRef] = list(self.select_columns)
+        refs.extend(agg.column for agg in self.aggregates if agg.column is not None)
+        refs.extend(pred.column for pred in self.filters)
+        for join in self.joins:
+            refs.extend((join.left, join.right))
+        refs.extend(self.group_by)
+        refs.extend(item.column for item in self.order_by)
+        return refs
+
+    def columns_of(self, table: str) -> List[str]:
+        """Distinct column names of ``table`` referenced by the query."""
+        seen: List[str] = []
+        for ref in self.referenced_columns():
+            if ref.table == table and ref.column not in seen:
+                seen.append(ref.column)
+        return seen
+
+    def filters_on(self, table: str) -> List[Predicate]:
+        """Single-table predicates restricting ``table``."""
+        return [pred for pred in self.filters if pred.table == table]
+
+    def joins_involving(self, table: str) -> List[JoinPredicate]:
+        """Join predicates with ``table`` on either side."""
+        return [join for join in self.joins if table in join.tables]
+
+    def join_columns_of(self, table: str) -> List[str]:
+        """Columns of ``table`` used in join predicates (in appearance order)."""
+        columns: List[str] = []
+        for join in self.joins_involving(table):
+            column = join.column_for(table).column
+            if column not in columns:
+                columns.append(column)
+        return columns
+
+    def order_by_columns_of(self, table: str) -> List[str]:
+        """Columns of ``table`` used in the ORDER BY clause."""
+        return [item.column.column for item in self.order_by if item.column.table == table]
+
+    def group_by_columns_of(self, table: str) -> List[str]:
+        """Columns of ``table`` used in the GROUP BY clause."""
+        return [ref.column for ref in self.group_by if ref.table == table]
+
+    def output_columns(self) -> List[ColumnRef]:
+        """Plain (non-aggregate) columns the query outputs."""
+        return list(self.select_columns)
+
+    @property
+    def has_aggregation(self) -> bool:
+        """Whether the query has aggregates or a GROUP BY clause."""
+        return bool(self.aggregates) or bool(self.group_by)
+
+    @property
+    def table_count(self) -> int:
+        """Number of tables in the FROM clause."""
+        return len(self.tables)
+
+    def join_graph_edges(self) -> List[FrozenSet[str]]:
+        """The set of table pairs connected by at least one join predicate."""
+        edges: List[FrozenSet[str]] = []
+        for join in self.joins:
+            if join.tables not in edges:
+                edges.append(join.tables)
+        return edges
+
+    def to_sql(self) -> str:
+        """Render the query as SQL text (round-trips through the parser)."""
+        select_items = [str(ref) for ref in self.select_columns]
+        select_items.extend(str(agg) for agg in self.aggregates)
+        sql = [f"SELECT {', '.join(select_items)}"]
+        sql.append(f"FROM {', '.join(self.tables)}")
+        conditions = [str(join) for join in self.joins] + [str(pred) for pred in self.filters]
+        if conditions:
+            sql.append("WHERE " + " AND ".join(conditions))
+        if self.group_by:
+            sql.append("GROUP BY " + ", ".join(str(ref) for ref in self.group_by))
+        if self.order_by:
+            sql.append("ORDER BY " + ", ".join(str(item) for item in self.order_by))
+        return "\n".join(sql)
+
+    def __str__(self) -> str:
+        return f"Query({self.name}: {len(self.tables)} tables)"

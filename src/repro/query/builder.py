@@ -1,0 +1,140 @@
+"""A fluent builder for :class:`~repro.query.ast.Query` objects.
+
+The builder is the primary programmatic API for constructing queries (the
+parser in :mod:`repro.query.parser` covers the SQL-text route).  It accepts
+``"table.column"`` strings for convenience and validates lazily in
+:meth:`QueryBuilder.build` so clauses can be added in any order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    ColumnRef,
+    Comparison,
+    JoinPredicate,
+    OrderByItem,
+    Predicate,
+    Query,
+)
+from repro.util.errors import QueryError
+
+ColumnLike = Union[str, ColumnRef]
+
+
+def _to_column(ref: ColumnLike) -> ColumnRef:
+    """Accept either a :class:`ColumnRef` or a ``"table.column"`` string."""
+    if isinstance(ref, ColumnRef):
+        return ref
+    parts = ref.split(".")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise QueryError(
+            f"column reference {ref!r} must have the form 'table.column'"
+        )
+    return ColumnRef(parts[0], parts[1])
+
+
+class QueryBuilder:
+    """Accumulates query clauses and produces an immutable :class:`Query`."""
+
+    def __init__(self, name: str = "query") -> None:
+        self._name = name
+        self._tables: List[str] = []
+        self._select: List[ColumnRef] = []
+        self._aggregates: List[Aggregate] = []
+        self._filters: List[Predicate] = []
+        self._joins: List[JoinPredicate] = []
+        self._group_by: List[ColumnRef] = []
+        self._order_by: List[OrderByItem] = []
+
+    # -- clauses ------------------------------------------------------------
+
+    def from_tables(self, *tables: str) -> "QueryBuilder":
+        """Add tables to the FROM clause (duplicates are ignored)."""
+        for table in tables:
+            if not table:
+                raise QueryError("table name must be non-empty")
+            if table not in self._tables:
+                self._tables.append(table)
+        return self
+
+    def select(self, *columns: ColumnLike) -> "QueryBuilder":
+        """Add plain output columns."""
+        for column in columns:
+            self._select.append(_to_column(column))
+        return self
+
+    def aggregate(self, func: str, column: Optional[ColumnLike] = None) -> "QueryBuilder":
+        """Add an aggregate such as ``aggregate("sum", "fact.amount")``."""
+        try:
+            function = AggregateFunction(func.lower())
+        except ValueError:
+            valid = ", ".join(f.value for f in AggregateFunction)
+            raise QueryError(f"unknown aggregate {func!r} (expected one of {valid})") from None
+        ref = _to_column(column) if column is not None else None
+        self._aggregates.append(Aggregate(function, ref))
+        return self
+
+    def where(
+        self,
+        column: ColumnLike,
+        op: Union[str, Comparison],
+        value: float,
+        value2: Optional[float] = None,
+    ) -> "QueryBuilder":
+        """Add a single-table predicate, e.g. ``where("t.a", "<=", 10)``."""
+        if isinstance(op, Comparison):
+            comparison = op
+        else:
+            try:
+                comparison = Comparison(op)
+            except ValueError:
+                if op.lower() == "between":
+                    comparison = Comparison.BETWEEN
+                else:
+                    raise QueryError(f"unknown comparison operator {op!r}") from None
+        self._filters.append(Predicate(_to_column(column), comparison, value, value2))
+        return self
+
+    def where_between(self, column: ColumnLike, low: float, high: float) -> "QueryBuilder":
+        """Shorthand for a BETWEEN predicate."""
+        return self.where(column, Comparison.BETWEEN, low, high)
+
+    def join(self, left: ColumnLike, right: ColumnLike) -> "QueryBuilder":
+        """Add an equi-join predicate between two tables.
+
+        Both tables are implicitly added to the FROM clause.
+        """
+        join = JoinPredicate(_to_column(left), _to_column(right))
+        self.from_tables(join.left.table, join.right.table)
+        self._joins.append(join)
+        return self
+
+    def group_by(self, *columns: ColumnLike) -> "QueryBuilder":
+        """Add GROUP BY columns."""
+        for column in columns:
+            self._group_by.append(_to_column(column))
+        return self
+
+    def order_by(self, column: ColumnLike, descending: bool = False) -> "QueryBuilder":
+        """Add one ORDER BY item."""
+        self._order_by.append(OrderByItem(_to_column(column), descending))
+        return self
+
+    # -- finalisation ---------------------------------------------------------
+
+    def build(self) -> Query:
+        """Produce the immutable query (validation happens in the AST)."""
+        return Query(
+            name=self._name,
+            tables=tuple(self._tables),
+            select_columns=tuple(self._select),
+            aggregates=tuple(self._aggregates),
+            filters=tuple(self._filters),
+            joins=tuple(self._joins),
+            group_by=tuple(self._group_by),
+            order_by=tuple(self._order_by),
+        )

@@ -1,0 +1,260 @@
+"""A small SQL parser for the supported query class.
+
+The grammar intentionally covers exactly what the optimizer supports
+(select-project-join with conjunctive predicates, equi-joins, GROUP BY,
+aggregates and ORDER BY) -- the same restriction the paper's prototype has::
+
+    query     := SELECT items FROM tables [WHERE conds] [GROUP BY refs] [ORDER BY orders]
+    items     := item ("," item)*
+    item      := colref | func "(" (colref | "*") ")"
+    tables    := name ("," name)*
+    conds     := cond (AND cond)*
+    cond      := colref "=" colref            -- equi-join
+               | colref op number             -- filter
+               | colref BETWEEN number AND number
+    orders    := colref [ASC | DESC] ("," ...)*
+    colref    := name "." name
+
+Only table-qualified column references are accepted; resolution of bare
+column names is the preprocessor's job in real systems and out of scope for
+this reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    ColumnRef,
+    Comparison,
+    JoinPredicate,
+    OrderByItem,
+    Predicate,
+    Query,
+)
+from repro.util.errors import QueryError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+\.\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>)
+  | (?P<punct>[(),.*])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "group", "order", "by", "asc", "desc", "between",
+}
+_AGG_NAMES = {f.value for f in AggregateFunction}
+
+
+class _Token:
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise QueryError(f"unexpected character {sql[position]!r} at offset {position}")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        kind = match.lastgroup or "punct"
+        if kind == "name" and text.lower() in _KEYWORDS:
+            kind = "keyword"
+            text = text.lower()
+        tokens.append(_Token(kind, text))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], name: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._name = name
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise QueryError(f"query {self._name!r}: unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text.lower() != text:
+            return None
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            got = self._peek()
+            expected = text or kind
+            found = got.text if got else "end of input"
+            raise QueryError(f"query {self._name!r}: expected {expected!r}, found {found!r}")
+        return token
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("keyword", "select")
+        select_columns, aggregates = self._parse_select_items()
+        self._expect("keyword", "from")
+        tables = self._parse_table_list()
+        filters: List[Predicate] = []
+        joins: List[JoinPredicate] = []
+        if self._accept("keyword", "where"):
+            filters, joins = self._parse_conditions()
+        group_by: List[ColumnRef] = []
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = self._parse_column_list()
+        order_by: List[OrderByItem] = []
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by = self._parse_order_items()
+        if self._peek() is not None:
+            raise QueryError(
+                f"query {self._name!r}: trailing input starting at {self._peek().text!r}"
+            )
+        return Query(
+            name=self._name,
+            tables=tuple(tables),
+            select_columns=tuple(select_columns),
+            aggregates=tuple(aggregates),
+            filters=tuple(filters),
+            joins=tuple(joins),
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+        )
+
+    def _parse_select_items(self) -> tuple:
+        columns: List[ColumnRef] = []
+        aggregates: List[Aggregate] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise QueryError(f"query {self._name!r}: missing select list")
+            if token.kind == "name" and token.text.lower() in _AGG_NAMES:
+                aggregates.append(self._parse_aggregate())
+            else:
+                columns.append(self._parse_column_ref())
+            if not self._accept("punct", ","):
+                break
+        return columns, aggregates
+
+    def _parse_aggregate(self) -> Aggregate:
+        func = AggregateFunction(self._next().text.lower())
+        self._expect("punct", "(")
+        if self._accept("punct", "*"):
+            column: Optional[ColumnRef] = None
+        else:
+            column = self._parse_column_ref()
+        self._expect("punct", ")")
+        return Aggregate(func, column)
+
+    def _parse_column_ref(self) -> ColumnRef:
+        table = self._expect("name").text
+        self._expect("punct", ".")
+        column = self._expect("name").text
+        return ColumnRef(table, column)
+
+    def _parse_table_list(self) -> List[str]:
+        tables = [self._expect("name").text]
+        while self._accept("punct", ","):
+            tables.append(self._expect("name").text)
+        return tables
+
+    def _parse_conditions(self) -> tuple:
+        filters: List[Predicate] = []
+        joins: List[JoinPredicate] = []
+        while True:
+            self._parse_condition(filters, joins)
+            if not self._accept("keyword", "and"):
+                break
+        return filters, joins
+
+    def _parse_condition(self, filters: List[Predicate], joins: List[JoinPredicate]) -> None:
+        left = self._parse_column_ref()
+        if self._accept("keyword", "between"):
+            low = self._parse_number()
+            self._expect("keyword", "and")
+            high = self._parse_number()
+            filters.append(Predicate(left, Comparison.BETWEEN, low, high))
+            return
+        op_token = self._expect("op")
+        op_text = "<>" if op_token.text == "!=" else op_token.text
+        comparison = Comparison(op_text)
+        next_token = self._peek()
+        if next_token is not None and next_token.kind == "name":
+            right = self._parse_column_ref()
+            if comparison is not Comparison.EQ:
+                raise QueryError(
+                    f"query {self._name!r}: only equi-joins are supported, got {op_text!r}"
+                )
+            joins.append(JoinPredicate(left, right))
+        else:
+            value = self._parse_number()
+            filters.append(Predicate(left, comparison, value))
+
+    def _parse_number(self) -> float:
+        token = self._expect("number")
+        return float(token.text)
+
+    def _parse_column_list(self) -> List[ColumnRef]:
+        columns = [self._parse_column_ref()]
+        while self._accept("punct", ","):
+            columns.append(self._parse_column_ref())
+        return columns
+
+    def _parse_order_items(self) -> List[OrderByItem]:
+        items: List[OrderByItem] = []
+        while True:
+            column = self._parse_column_ref()
+            descending = False
+            if self._accept("keyword", "desc"):
+                descending = True
+            else:
+                self._accept("keyword", "asc")
+            items.append(OrderByItem(column, descending))
+            if not self._accept("punct", ","):
+                break
+        return items
+
+
+def parse_query(sql: str, name: str = "query") -> Query:
+    """Parse SQL text into a :class:`~repro.query.ast.Query`.
+
+    Raises :class:`~repro.util.errors.QueryError` with a position hint on any
+    syntax error or unsupported construct.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise QueryError("empty query text")
+    return _Parser(tokens, name).parse()

@@ -1,0 +1,62 @@
+"""Storage layer: page/tuple layout math, synthetic data and executor storage.
+
+The optimizer never reads real data -- it only consumes the page and tuple
+arithmetic in :mod:`repro.storage.pages` through table and index statistics.
+The executor (used by the index-selection experiment) reads the in-memory
+relations produced by :mod:`repro.storage.datagen`.
+
+Only the layout arithmetic is imported eagerly: the data-bearing classes
+(:class:`RelationData`, :class:`SortedIndexData`, :class:`DataGenerator`,
+:class:`Database`) are exposed lazily via :func:`__getattr__` because they
+depend on the catalog package, which itself needs the layout arithmetic --
+loading them here eagerly would create an import cycle.
+"""
+
+from repro.storage.pages import (
+    BTREE_LEAF_FILL_FACTOR,
+    HEAP_FILL_FACTOR,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    align_to,
+    btree_internal_pages,
+    btree_leaf_pages,
+    heap_pages,
+    heap_tuple_width,
+    index_tuple_width,
+    tuples_per_heap_page,
+)
+
+__all__ = [
+    "BTREE_LEAF_FILL_FACTOR",
+    "DataGenerator",
+    "Database",
+    "HEAP_FILL_FACTOR",
+    "PAGE_HEADER_BYTES",
+    "PAGE_SIZE",
+    "RelationData",
+    "SortedIndexData",
+    "align_to",
+    "btree_internal_pages",
+    "btree_leaf_pages",
+    "heap_pages",
+    "heap_tuple_width",
+    "index_tuple_width",
+    "tuples_per_heap_page",
+]
+
+_LAZY_EXPORTS = {
+    "RelationData": ("repro.storage.relation", "RelationData"),
+    "SortedIndexData": ("repro.storage.btree", "SortedIndexData"),
+    "DataGenerator": ("repro.storage.datagen", "DataGenerator"),
+    "Database": ("repro.storage.datagen", "Database"),
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the catalog-dependent exports (PEP 562)."""
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,177 @@
+"""Deterministic synthetic data generation for executor-backed experiments.
+
+The paper's optimizer-facing experiments only need *statistics* at the 10 GB
+scale; the execution experiment (Figure 7) additionally needs data to run
+queries against.  :class:`DataGenerator` materializes a scaled-down instance
+of any catalog whose statistics were built with
+:meth:`~repro.catalog.statistics.TableStatistics.uniform`, honouring foreign
+keys so join queries return plausible result sizes, and
+:class:`Database` bundles the relations with index materialization and
+ANALYZE-style statistics refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.catalog.schema import Table
+from repro.catalog.statistics import TableStatistics, statistics_from_rows
+from repro.storage.btree import SortedIndexData
+from repro.storage.relation import RelationData, Row
+from repro.util.errors import ExecutionError
+from repro.util.rng import DeterministicRNG
+
+
+class Database:
+    """A set of materialized relations plus their built indexes."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._relations: Dict[str, RelationData] = {}
+        self._indexes: Dict[str, SortedIndexData] = {}
+
+    def add_relation(self, relation: RelationData) -> None:
+        """Register the rows of one table."""
+        self._relations[relation.table.name] = relation
+
+    def relation(self, table_name: str) -> RelationData:
+        """The rows of ``table_name`` (raises if never loaded)."""
+        try:
+            return self._relations[table_name]
+        except KeyError:
+            raise ExecutionError(f"no data loaded for table {table_name!r}") from None
+
+    def has_relation(self, table_name: str) -> bool:
+        """Whether data for ``table_name`` has been loaded."""
+        return table_name in self._relations
+
+    def build_index(self, index: Index) -> SortedIndexData:
+        """Materialize ``index`` over the loaded rows (cached by index name)."""
+        if index.name not in self._indexes:
+            self._indexes[index.name] = SortedIndexData(index, self.relation(index.table))
+        return self._indexes[index.name]
+
+    def drop_indexes(self) -> None:
+        """Forget every materialized index (the relations stay loaded)."""
+        self._indexes.clear()
+
+    def analyze(self) -> None:
+        """Refresh the catalog's statistics from the loaded rows.
+
+        After this call the optimizer's cardinality estimates line up with
+        the data the executor will actually read.
+        """
+        for table_name, relation in self._relations.items():
+            stats = statistics_from_rows(relation.table, relation.rows())
+            self.catalog.set_statistics(table_name, stats)
+
+    def table_names(self) -> List[str]:
+        """Names of the loaded tables."""
+        return list(self._relations)
+
+
+class DataGenerator:
+    """Generate uniform-integer rows for a catalog, respecting foreign keys."""
+
+    def __init__(self, catalog: Catalog, seed: int = 42) -> None:
+        self.catalog = catalog
+        self._rng = DeterministicRNG(seed)
+
+    def generate(
+        self,
+        row_counts: Optional[Dict[str, int]] = None,
+        scale: float = 1.0,
+    ) -> Database:
+        """Materialize every table in the catalog.
+
+        ``row_counts`` overrides per-table row counts; otherwise the count is
+        the catalog statistics' row count multiplied by ``scale`` (so a
+        10 GB-scale catalog can be materialized at, say, ``scale=0.001``).
+        Tables are generated parents-first so foreign-key columns can sample
+        existing parent keys.
+        """
+        database = Database(self.catalog)
+        for table in self._topological_order():
+            count = self._row_count_for(table, row_counts, scale)
+            rows = self._generate_table(table, count, database)
+            relation = RelationData(table, rows)
+            database.add_relation(relation)
+        return database
+
+    # -- internals --------------------------------------------------------
+
+    def _row_count_for(
+        self,
+        table: Table,
+        row_counts: Optional[Dict[str, int]],
+        scale: float,
+    ) -> int:
+        if row_counts and table.name in row_counts:
+            return max(0, int(row_counts[table.name]))
+        if self.catalog.has_statistics(table.name):
+            return max(1, int(self.catalog.statistics(table.name).row_count * scale))
+        return 100
+
+    def _topological_order(self) -> List[Table]:
+        """Tables ordered so that referenced tables come before referencing ones."""
+        tables = {table.name: table for table in self.catalog.tables()}
+        ordered: List[Table] = []
+        visited: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(name: str) -> None:
+            state = visited.get(name)
+            if state == 1:
+                return
+            if state == 0:
+                # Cycle: fall back to declaration order for the remainder.
+                return
+            visited[name] = 0
+            for fk in tables[name].foreign_keys:
+                if fk.ref_table in tables and fk.ref_table != name:
+                    visit(fk.ref_table)
+            visited[name] = 1
+            ordered.append(tables[name])
+
+        for name in tables:
+            visit(name)
+        return ordered
+
+    def _generate_table(self, table: Table, count: int, database: Database) -> List[Row]:
+        rng = self._rng.derive(f"table:{table.name}")
+        fk_pools: Dict[str, List[object]] = {}
+        for fk in table.foreign_keys:
+            if database.has_relation(fk.ref_table):
+                pool = database.relation(fk.ref_table).column_values(fk.ref_column)
+                if pool:
+                    fk_pools[fk.column] = pool
+
+        # Attribute values keep the *full-scale* value range recorded in the
+        # catalog statistics (when available), so predicates written against
+        # the full-scale workload retain their intended selectivity even on a
+        # scaled-down instance.  Key columns stay dense so joins still match.
+        stats = (
+            self.catalog.statistics(table.name)
+            if self.catalog.has_statistics(table.name)
+            else None
+        )
+
+        rows: List[Row] = []
+        default_max = max(1, count)
+        for i in range(count):
+            row: Row = {}
+            for column in table.columns:
+                if column.name == table.primary_key:
+                    row[column.name] = i + 1
+                elif column.name in fk_pools:
+                    row[column.name] = rng.choice(fk_pools[column.name])
+                else:
+                    high = default_max
+                    if stats is not None:
+                        column_stats = stats.column(column.name)
+                        if column_stats.max_value is not None:
+                            high = max(1, int(column_stats.max_value))
+                    row[column.name] = rng.randint(1, high)
+            rows.append(row)
+        return rows

@@ -1,0 +1,132 @@
+"""Page and tuple layout arithmetic.
+
+The paper's what-if index layer (Section V-A) estimates an index's size from
+"the average attribute size, the total number of rows, and the attribute
+alignments to find the number of leaf pages required to store the index",
+deliberately ignoring the internal pages of the B-tree.  This module provides
+exactly that arithmetic, plus the internal-page estimate needed to model a
+*materialized* index for the what-if accuracy experiment (Section VI-B).
+
+The constants mirror PostgreSQL's on-disk layout closely enough that the
+relative sizes of heaps and indexes behave like the real system:
+
+* 8 KiB pages with a 24-byte page header,
+* a 4-byte line pointer per tuple,
+* a 24-byte heap tuple header (23 bytes aligned up),
+* an 8-byte index tuple header,
+* B-tree leaf pages filled to 90 %.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+PAGE_SIZE = 8192
+PAGE_HEADER_BYTES = 24
+ITEM_POINTER_BYTES = 4
+HEAP_TUPLE_HEADER_BYTES = 24
+INDEX_TUPLE_HEADER_BYTES = 8
+
+#: Fraction of a heap page usable for tuples after accounting for slack.
+HEAP_FILL_FACTOR = 1.0
+#: PostgreSQL's default B-tree leaf fill factor.
+BTREE_LEAF_FILL_FACTOR = 0.90
+#: Internal pages are packed less densely than leaves; 70 % is typical.
+BTREE_INTERNAL_FILL_FACTOR = 0.70
+
+_USABLE_PAGE_BYTES = PAGE_SIZE - PAGE_HEADER_BYTES
+
+
+def align_to(width: int, alignment: int) -> int:
+    """Round ``width`` up to the next multiple of ``alignment``.
+
+    PostgreSQL aligns attribute storage to the attribute's type alignment
+    (e.g. 4 bytes for ``int4``, 8 bytes for ``int8``/``float8``); the padding
+    is what makes naive ``sum(column widths)`` underestimate tuple sizes.
+    """
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return ((width + alignment - 1) // alignment) * alignment
+
+
+def _aligned_payload_width(column_widths: Iterable[Tuple[int, int]]) -> int:
+    """Sum of per-column widths, each aligned to its type alignment.
+
+    ``column_widths`` is an iterable of ``(width, alignment)`` pairs.
+    """
+    total = 0
+    for width, alignment in column_widths:
+        total = align_to(total, alignment) + width
+    # The whole tuple is aligned to the maximum alignment (8 bytes).
+    return align_to(total, 8)
+
+
+def heap_tuple_width(column_widths: Sequence[Tuple[int, int]]) -> int:
+    """Bytes one heap tuple occupies, including header and line pointer."""
+    payload = _aligned_payload_width(column_widths)
+    return HEAP_TUPLE_HEADER_BYTES + ITEM_POINTER_BYTES + payload
+
+
+def index_tuple_width(column_widths: Sequence[Tuple[int, int]]) -> int:
+    """Bytes one B-tree index tuple occupies, including header and pointer."""
+    payload = _aligned_payload_width(column_widths)
+    return INDEX_TUPLE_HEADER_BYTES + ITEM_POINTER_BYTES + payload
+
+
+def tuples_per_heap_page(tuple_width: int) -> int:
+    """How many heap tuples of ``tuple_width`` bytes fit on one page."""
+    if tuple_width <= 0:
+        raise ValueError(f"tuple width must be positive, got {tuple_width}")
+    usable = int(_USABLE_PAGE_BYTES * HEAP_FILL_FACTOR)
+    return max(1, usable // tuple_width)
+
+
+def heap_pages(row_count: int, tuple_width: int) -> int:
+    """Number of heap pages needed to store ``row_count`` rows."""
+    if row_count < 0:
+        raise ValueError(f"row count must be non-negative, got {row_count}")
+    if row_count == 0:
+        return 1
+    return max(1, math.ceil(row_count / tuples_per_heap_page(tuple_width)))
+
+
+def btree_leaf_pages(row_count: int, tuple_width: int) -> int:
+    """Number of B-tree *leaf* pages for ``row_count`` index entries.
+
+    This is the quantity the paper's what-if indexes report as the index
+    size: "We ignore the internal pages of the B-Tree index, since they
+    affect the relative page sizes only on very small indexes."
+    """
+    if row_count < 0:
+        raise ValueError(f"row count must be non-negative, got {row_count}")
+    if row_count == 0:
+        return 1
+    usable = int(_USABLE_PAGE_BYTES * BTREE_LEAF_FILL_FACTOR)
+    entries_per_page = max(1, usable // tuple_width)
+    return max(1, math.ceil(row_count / entries_per_page))
+
+
+def btree_internal_pages(leaf_pages: int, key_width: int) -> int:
+    """Estimate of B-tree internal (non-leaf) pages above ``leaf_pages``.
+
+    Internal pages hold one downlink per child page.  We sum the geometric
+    series of levels until a single root page remains.  A *materialized*
+    index includes these pages; a what-if index does not, which is exactly
+    the size discrepancy measured in the paper's Section VI-B experiment.
+    """
+    if leaf_pages < 0:
+        raise ValueError(f"leaf page count must be non-negative, got {leaf_pages}")
+    if leaf_pages <= 1:
+        return 0
+    usable = int(_USABLE_PAGE_BYTES * BTREE_INTERNAL_FILL_FACTOR)
+    downlink_width = INDEX_TUPLE_HEADER_BYTES + ITEM_POINTER_BYTES + align_to(key_width, 8)
+    fanout = max(2, usable // downlink_width)
+    total = 0
+    level_pages = leaf_pages
+    while level_pages > 1:
+        level_pages = math.ceil(level_pages / fanout)
+        total += level_pages
+    return total

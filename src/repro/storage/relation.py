@@ -1,0 +1,91 @@
+"""In-memory heap relations used by the executor.
+
+A :class:`RelationData` holds the rows of one table as plain dictionaries
+(column name -> value).  The executor reads rows through iterators and the
+simulated-I/O accounting charges page reads based on the table's real layout
+(same math the optimizer uses), so execution "time" and optimizer cost are
+expressed in consistent units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.catalog.schema import Table
+from repro.storage import pages
+from repro.util.errors import ExecutionError
+
+Row = Dict[str, object]
+
+
+class RelationData:
+    """The materialized rows of one table."""
+
+    def __init__(self, table: Table, rows: Optional[Iterable[Row]] = None) -> None:
+        self.table = table
+        self._rows: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    def insert(self, row: Row) -> None:
+        """Append one row after checking it has exactly the table's columns."""
+        missing = [c for c in self.table.column_names if c not in row]
+        if missing:
+            raise ExecutionError(
+                f"row for {self.table.name!r} is missing columns: {missing}"
+            )
+        extra = [c for c in row if not self.table.has_column(c)]
+        if extra:
+            raise ExecutionError(
+                f"row for {self.table.name!r} has unknown columns: {extra}"
+            )
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        """Insert many rows."""
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def row_count(self) -> int:
+        """Number of stored rows."""
+        return len(self._rows)
+
+    @property
+    def heap_pages(self) -> int:
+        """Pages this relation occupies under the storage layout model."""
+        width = pages.heap_tuple_width(self.table.column_widths())
+        return pages.heap_pages(self.row_count, width)
+
+    def scan(self) -> Iterator[Row]:
+        """Yield every row in heap (insertion) order."""
+        for row in self._rows:
+            yield dict(row)
+
+    def rows(self) -> List[Row]:
+        """A copy of all rows (convenience for tests and statistics)."""
+        return [dict(row) for row in self._rows]
+
+    def column_values(self, column: str) -> List[object]:
+        """All values of one column, in heap order."""
+        if not self.table.has_column(column):
+            raise ExecutionError(f"table {self.table.name!r} has no column {column!r}")
+        return [row[column] for row in self._rows]
+
+    def fetch(self, positions: Sequence[int]) -> List[Row]:
+        """Fetch rows by heap position (used by index scans)."""
+        result = []
+        for position in positions:
+            if not 0 <= position < len(self._rows):
+                raise ExecutionError(
+                    f"heap position {position} out of range for {self.table.name!r}"
+                )
+            result.append(dict(self._rows[position]))
+        return result
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationData({self.table.name!r}, rows={self.row_count})"

@@ -1,0 +1,29 @@
+"""Small cross-cutting utilities: errors, units, deterministic RNG."""
+
+from repro.util.errors import (
+    AdvisorError,
+    CatalogError,
+    ExecutionError,
+    PlanningError,
+    QueryError,
+    ReproError,
+)
+from repro.util.units import GIB, KIB, MIB, format_bytes, gigabytes, kilobytes, megabytes
+from repro.util.rng import DeterministicRNG
+
+__all__ = [
+    "AdvisorError",
+    "CatalogError",
+    "DeterministicRNG",
+    "ExecutionError",
+    "GIB",
+    "KIB",
+    "MIB",
+    "PlanningError",
+    "QueryError",
+    "ReproError",
+    "format_bytes",
+    "gigabytes",
+    "kilobytes",
+    "megabytes",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the PINUM reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch library failures without accidentally swallowing unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class CatalogError(ReproError):
+    """Raised for schema/statistics/index metadata problems.
+
+    Examples: registering a duplicate table, referencing an unknown column in
+    an index definition, asking for statistics that were never computed.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (unknown tables/columns, bad predicates)."""
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a plan for a valid query."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the executor when a plan cannot be run against loaded data."""
+
+
+class AdvisorError(ReproError):
+    """Raised by the index-selection tool for invalid budgets or inputs."""

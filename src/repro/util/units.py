@@ -1,0 +1,42 @@
+"""Byte-size helpers used by the storage model and the index advisor."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kilobytes(n: float) -> int:
+    """Return ``n`` KiB expressed in bytes (rounded to an int)."""
+    return int(n * KIB)
+
+
+def megabytes(n: float) -> int:
+    """Return ``n`` MiB expressed in bytes (rounded to an int)."""
+    return int(n * MIB)
+
+
+def gigabytes(n: float) -> int:
+    """Return ``n`` GiB expressed in bytes (rounded to an int)."""
+    return int(n * GIB)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with a human-friendly binary unit.
+
+    >>> format_bytes(512)
+    '512 B'
+    >>> format_bytes(2048)
+    '2.0 KiB'
+    >>> format_bytes(5 * 1024 ** 3)
+    '5.0 GiB'
+    """
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    if n_bytes < KIB:
+        return f"{int(n_bytes)} B"
+    for unit, size in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n_bytes >= size:
+            return f"{n_bytes / size:.1f} {unit}"
+    raise AssertionError("unreachable")

@@ -1,0 +1,10 @@
+"""Workloads: the paper's synthetic star schema and a TPC-H-like schema."""
+
+from repro.workloads.star_schema import StarSchemaWorkload
+from repro.workloads.tpch_like import build_tpch_like_catalog, tpch_q5_like_query
+
+__all__ = [
+    "StarSchemaWorkload",
+    "build_tpch_like_catalog",
+    "tpch_q5_like_query",
+]

@@ -1,0 +1,144 @@
+"""A TPC-H-like schema and a query-5-like query.
+
+Section IV motivates PINUM with TPC-H query 5: "The query joins 6 tables in
+the benchmark, and groups and orders the results.  Since the join and
+order-by clauses contribute to the interesting orders, the query has 648
+interesting order combinations", of which only 64 turn into distinct plans.
+
+This module builds a schema with the same shape (region, nation, customer,
+orders, lineitem, supplier at TPC-H scale-factor-1 cardinalities) and a
+six-way join query whose per-table interesting-order counts multiply out to
+exactly 648 combinations, so the redundancy experiment (E1) can be run
+without the real benchmark data the prototype could not handle anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
+from repro.catalog.statistics import TableStatistics
+from repro.query.ast import Query
+from repro.query.builder import QueryBuilder
+
+#: TPC-H scale-factor-1 row counts (approximate).
+_ROW_COUNTS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def build_tpch_like_catalog(scale_factor: float = 1.0) -> Catalog:
+    """A catalog with the six tables TPC-H query 5 touches."""
+    catalog = Catalog("tpch_like")
+
+    region = Table(
+        "region",
+        [Column("r_regionkey", ColumnType.INTEGER), Column("r_name", ColumnType.TEXT, width=25)],
+        primary_key="r_regionkey",
+    )
+    nation = Table(
+        "nation",
+        [
+            Column("n_nationkey", ColumnType.INTEGER),
+            Column("n_regionkey", ColumnType.INTEGER),
+            Column("n_name", ColumnType.TEXT, width=25),
+        ],
+        primary_key="n_nationkey",
+        foreign_keys=[ForeignKey("n_regionkey", "region", "r_regionkey")],
+    )
+    supplier = Table(
+        "supplier",
+        [
+            Column("s_suppkey", ColumnType.INTEGER),
+            Column("s_nationkey", ColumnType.INTEGER),
+            Column("s_acctbal", ColumnType.FLOAT),
+            Column("s_name", ColumnType.TEXT, width=25),
+        ],
+        primary_key="s_suppkey",
+        foreign_keys=[ForeignKey("s_nationkey", "nation", "n_nationkey")],
+    )
+    customer = Table(
+        "customer",
+        [
+            Column("c_custkey", ColumnType.INTEGER),
+            Column("c_nationkey", ColumnType.INTEGER),
+            Column("c_acctbal", ColumnType.FLOAT),
+            Column("c_mktsegment", ColumnType.TEXT, width=10),
+        ],
+        primary_key="c_custkey",
+        foreign_keys=[ForeignKey("c_nationkey", "nation", "n_nationkey")],
+    )
+    orders = Table(
+        "orders",
+        [
+            Column("o_orderkey", ColumnType.INTEGER),
+            Column("o_custkey", ColumnType.INTEGER),
+            Column("o_orderdate", ColumnType.DATE),
+            Column("o_totalprice", ColumnType.FLOAT),
+        ],
+        primary_key="o_orderkey",
+        foreign_keys=[ForeignKey("o_custkey", "customer", "c_custkey")],
+    )
+    lineitem = Table(
+        "lineitem",
+        [
+            Column("l_orderkey", ColumnType.INTEGER),
+            Column("l_suppkey", ColumnType.INTEGER),
+            Column("l_extendedprice", ColumnType.FLOAT),
+            Column("l_discount", ColumnType.FLOAT),
+            Column("l_shipdate", ColumnType.DATE),
+        ],
+        primary_key="l_orderkey",
+        foreign_keys=[
+            ForeignKey("l_orderkey", "orders", "o_orderkey"),
+            ForeignKey("l_suppkey", "supplier", "s_suppkey"),
+        ],
+    )
+
+    for table in (region, nation, supplier, customer, orders, lineitem):
+        rows = max(1, int(_ROW_COUNTS[table.name] * scale_factor))
+        catalog.add_table(table, TableStatistics.uniform(table, rows))
+    catalog.validate()
+    return catalog
+
+
+def tpch_q5_like_query(name: str = "tpch_q5_like") -> Query:
+    """A six-way join with grouping and ordering, shaped like TPC-H query 5.
+
+    The interesting orders per table are: customer {c_custkey, c_nationkey},
+    orders {o_orderkey, o_custkey}, lineitem {l_orderkey, l_suppkey},
+    supplier {s_suppkey, s_nationkey}, nation {n_nationkey, n_regionkey,
+    n_name}, region {r_regionkey}; including the empty order the combination
+    count is 3 * 3 * 3 * 3 * 4 * 2 = 648, matching Section IV.
+    """
+    builder = QueryBuilder(name)
+    builder.select("nation.n_name")
+    builder.aggregate("sum", "lineitem.l_extendedprice")
+    builder.join("customer.c_custkey", "orders.o_custkey")
+    builder.join("orders.o_orderkey", "lineitem.l_orderkey")
+    builder.join("lineitem.l_suppkey", "supplier.s_suppkey")
+    builder.join("supplier.s_nationkey", "nation.n_nationkey")
+    builder.join("customer.c_nationkey", "nation.n_nationkey")
+    builder.join("nation.n_regionkey", "region.r_regionkey")
+    builder.where("region.r_regionkey", "=", 2)
+    builder.where_between("orders.o_orderdate", 3_000, 3_365)
+    builder.group_by("nation.n_name")
+    builder.order_by("nation.n_name")
+    return builder.build()
+
+
+def tpch_small_join_query(name: str = "tpch_small_join") -> Query:
+    """A three-way join used by tests and the quickstart example."""
+    builder = QueryBuilder(name)
+    builder.select("customer.c_custkey", "orders.o_totalprice")
+    builder.join("customer.c_custkey", "orders.o_custkey")
+    builder.join("orders.o_orderkey", "lineitem.l_orderkey")
+    builder.where_between("orders.o_orderdate", 3_000, 3_060)
+    builder.order_by("customer.c_custkey")
+    return builder.build()

@@ -1,0 +1,109 @@
+"""Tests for the index advisor front end."""
+
+import pytest
+
+from repro.advisor import AdvisorOptions, IndexAdvisor
+from repro.optimizer import Optimizer
+from repro.util.errors import AdvisorError
+from repro.util.units import megabytes
+
+
+@pytest.fixture
+def workload(join_query, simple_query):
+    return [join_query, simple_query]
+
+
+class TestRecommend:
+    def test_recommendation_improves_workload(self, small_catalog, workload):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(512), cost_model="pinum"),
+        )
+        result = advisor.recommend(workload)
+        assert result.workload_cost_after <= result.workload_cost_before
+        assert result.improvement_fraction >= 0.0
+        assert result.candidate_count > 0
+        assert result.total_index_bytes <= megabytes(512)
+        assert set(result.per_query_cost_before) == {q.name for q in workload}
+
+    def test_selected_indexes_match_steps(self, small_catalog, workload):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(512)),
+        )
+        result = advisor.recommend(workload)
+        assert [step.chosen for step in result.steps] == result.selected_indexes
+
+    def test_summary_is_readable(self, small_catalog, workload):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(256)),
+        )
+        summary = advisor.recommend(workload).summary()
+        assert "candidates considered" in summary
+        assert "workload cost" in summary
+
+    def test_max_candidates_truncates(self, small_catalog, workload):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(256), max_candidates=5),
+        )
+        result = advisor.recommend(workload)
+        assert result.candidate_count == 5
+
+    def test_explicit_candidates_used(self, small_catalog, workload, sample_index):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(256)),
+        )
+        result = advisor.recommend(workload, candidates=[sample_index])
+        assert result.candidate_count == 1
+
+    def test_empty_workload_rejected(self, small_catalog):
+        advisor = IndexAdvisor(small_catalog, Optimizer(small_catalog))
+        with pytest.raises(AdvisorError):
+            advisor.recommend([])
+
+    def test_unknown_cost_model_rejected(self, small_catalog):
+        with pytest.raises(AdvisorError):
+            IndexAdvisor(
+                small_catalog, Optimizer(small_catalog), AdvisorOptions(cost_model="magic")
+            )
+
+
+class TestCostModelChoices:
+    def test_inum_and_pinum_agree_on_selection_quality(self, small_catalog, workload):
+        results = {}
+        for mode in ("pinum", "inum"):
+            advisor = IndexAdvisor(
+                small_catalog,
+                Optimizer(small_catalog),
+                AdvisorOptions(space_budget_bytes=megabytes(512), cost_model=mode,
+                               max_candidates=20),
+            )
+            results[mode] = advisor.recommend(workload)
+        pinum_result, inum_result = results["pinum"], results["inum"]
+        assert pinum_result.improvement_fraction == pytest.approx(
+            inum_result.improvement_fraction, abs=0.15
+        )
+        # The whole point: PINUM needs far fewer optimizer calls to prepare.
+        assert (
+            pinum_result.preparation_optimizer_calls
+            < inum_result.preparation_optimizer_calls
+        )
+
+    def test_optimizer_cost_model_works(self, small_catalog, workload):
+        advisor = IndexAdvisor(
+            small_catalog,
+            Optimizer(small_catalog),
+            AdvisorOptions(space_budget_bytes=megabytes(256), cost_model="optimizer",
+                           max_candidates=8),
+        )
+        result = advisor.recommend(workload)
+        assert result.workload_cost_after <= result.workload_cost_before
+        assert result.preparation_optimizer_calls == 0

@@ -1,0 +1,60 @@
+"""Tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentTable,
+    Timer,
+    format_value,
+    geometric_mean,
+    relative_error,
+    speedup_table,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            sum(range(1000))
+        assert timer.seconds >= 0
+        assert timer.milliseconds == pytest.approx(timer.seconds * 1000)
+
+
+class TestExperimentTable:
+    def test_render_contains_headers_and_rows(self):
+        table = ExperimentTable("Demo", ["query", "time"])
+        table.add_row("Q1", 12.5)
+        table.add_row("Q2", 3.25)
+        text = table.render()
+        assert "Demo" in text
+        assert "query" in text and "time" in text
+        assert "Q1" in text and "12.50" in text
+
+    def test_row_arity_checked(self):
+        table = ExperimentTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1,234,567"
+        assert format_value(0.1234) == "0.1234"
+        assert format_value("text") == "text"
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_speedup_table(self):
+        speedups = speedup_table({"q1": 10.0, "q2": 4.0}, {"q1": 2.0, "q2": 0.0})
+        assert speedups["q1"] == pytest.approx(5.0)
+        assert speedups["q2"] == float("inf")

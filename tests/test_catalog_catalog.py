@@ -1,0 +1,130 @@
+"""Tests for the catalog registry and its what-if index overlays."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, ForeignKey, Index, Table, TableStatistics
+from repro.util.errors import CatalogError
+
+
+class TestTables:
+    def test_add_and_lookup(self, small_catalog):
+        assert small_catalog.has_table("sales")
+        assert small_catalog.table("sales").name == "sales"
+        assert len(small_catalog.tables()) == 3
+
+    def test_unknown_table_raises(self, small_catalog):
+        with pytest.raises(CatalogError):
+            small_catalog.table("nope")
+
+    def test_duplicate_table_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            small_catalog.add_table(Table("sales", [Column("x")]))
+
+    def test_validate_detects_broken_foreign_key(self):
+        catalog = Catalog()
+        broken = Table("child", [Column("pid")],
+                       foreign_keys=[ForeignKey("pid", "ghost", "id")])
+        catalog.add_table(broken, TableStatistics.uniform(broken, 10))
+        with pytest.raises(CatalogError):
+            catalog.validate()
+
+
+class TestStatistics:
+    def test_statistics_roundtrip(self, small_catalog):
+        stats = small_catalog.statistics("sales")
+        assert stats.row_count == 500_000
+
+    def test_statistics_missing(self):
+        catalog = Catalog()
+        table = Table("t", [Column("a")])
+        catalog.add_table(table)
+        assert not catalog.has_statistics("t")
+        with pytest.raises(CatalogError):
+            catalog.statistics("t")
+
+    def test_statistics_for_wrong_table_rejected(self, small_catalog):
+        other = Table("other", [Column("a")])
+        with pytest.raises(CatalogError):
+            small_catalog.set_statistics("sales", TableStatistics.uniform(other, 10))
+
+
+class TestIndexes:
+    def test_add_drop_index(self, small_catalog, sample_index):
+        small_catalog.add_index(sample_index)
+        assert small_catalog.index(sample_index.name) == sample_index
+        assert sample_index in small_catalog.indexes_on("sales")
+        small_catalog.drop_index(sample_index.name)
+        assert small_catalog.indexes_on("sales") == []
+
+    def test_duplicate_index_name_rejected(self, small_catalog, sample_index):
+        small_catalog.add_index(sample_index)
+        with pytest.raises(CatalogError):
+            small_catalog.add_index(Index("sales", ["s_customer"], name=sample_index.name))
+
+    def test_drop_unknown_index_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            small_catalog.drop_index("ghost")
+
+    def test_invalid_index_rejected(self, small_catalog):
+        with pytest.raises(CatalogError):
+            small_catalog.add_index(Index("sales", ["no_such_column"]))
+
+    def test_drop_all_indexes(self, small_catalog, sample_index):
+        small_catalog.add_index(sample_index)
+        small_catalog.drop_all_indexes()
+        assert small_catalog.all_indexes() == []
+
+
+class TestOverlays:
+    def test_with_indexes_adds_temporarily(self, small_catalog, sample_index):
+        with small_catalog.with_indexes([sample_index]):
+            assert sample_index in small_catalog.indexes_on("sales")
+        assert small_catalog.indexes_on("sales") == []
+
+    def test_only_indexes_hides_permanent(self, small_catalog, sample_index):
+        permanent = Index("sales", ["s_product"], name="perm")
+        small_catalog.add_index(permanent)
+        with small_catalog.only_indexes([sample_index]):
+            visible = small_catalog.indexes_on("sales")
+            assert visible == [sample_index]
+        assert small_catalog.indexes_on("sales") == [permanent]
+
+    def test_only_indexes_empty_configuration(self, small_catalog, sample_index):
+        small_catalog.add_index(sample_index)
+        with small_catalog.only_indexes([]):
+            assert small_catalog.all_indexes() == []
+
+    def test_overlays_nest(self, small_catalog, sample_index):
+        other = Index("products", ["p_category"])
+        with small_catalog.only_indexes([sample_index]):
+            with small_catalog.with_indexes([other]):
+                names = {index.name for index in small_catalog.all_indexes()}
+                assert names == {sample_index.name, other.name}
+            assert small_catalog.all_indexes() == [sample_index]
+
+    def test_overlay_restored_after_exception(self, small_catalog, sample_index):
+        with pytest.raises(RuntimeError):
+            with small_catalog.with_indexes([sample_index]):
+                raise RuntimeError("boom")
+        assert small_catalog.all_indexes() == []
+
+    def test_overlay_validates_indexes(self, small_catalog):
+        with pytest.raises(CatalogError):
+            with small_catalog.with_indexes([Index("sales", ["bogus"])]):
+                pass
+
+
+class TestSizes:
+    def test_database_size_positive(self, small_catalog):
+        assert small_catalog.database_size_bytes() > 0
+
+    def test_database_size_with_indexes_grows(self, small_catalog, sample_index):
+        base = small_catalog.database_size_bytes(include_indexes=True)
+        small_catalog.add_index(sample_index)
+        assert small_catalog.database_size_bytes(include_indexes=True) > base
+
+    def test_index_size_bytes(self, small_catalog, sample_index):
+        assert small_catalog.index_size_bytes(sample_index) > 0
+
+    def test_table_size_bytes(self, small_catalog):
+        assert small_catalog.table_size_bytes("sales") > small_catalog.table_size_bytes("products")

@@ -1,0 +1,105 @@
+"""Tests for (what-if) index metadata and the size model."""
+
+import pytest
+
+from repro.catalog import Column, ColumnType, Index, Table, TableStatistics
+from repro.util.errors import CatalogError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "orders",
+        [
+            Column("o_id", ColumnType.BIGINT),
+            Column("o_customer", ColumnType.BIGINT),
+            Column("o_total", ColumnType.FLOAT),
+        ],
+        primary_key="o_id",
+    )
+
+
+@pytest.fixture
+def stats(table):
+    return TableStatistics.uniform(table, 1_000_000)
+
+
+class TestIndexIdentity:
+    def test_equality_by_table_and_columns(self):
+        a = Index("t", ["a", "b"], name="x")
+        b = Index("t", ["a", "b"], name="y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_column_order_matters(self):
+        assert Index("t", ["a", "b"]) != Index("t", ["b", "a"])
+
+    def test_default_name(self):
+        assert Index("t", ["a", "b"]).name == "idx_t_a_b"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Index("t", ["a", "a"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Index("t", [])
+
+
+class TestOrderCoverage:
+    def test_covers_leading_column(self):
+        index = Index("t", ["a", "b"])
+        assert index.covers_order("a")
+        assert not index.covers_order("b")
+
+    def test_covers_empty_order(self):
+        assert Index("t", ["a"]).covers_order(None)
+
+    def test_covers_columns(self):
+        index = Index("t", ["a", "b", "c"])
+        assert index.covers_columns(["b", "c"])
+        assert not index.covers_columns(["b", "z"])
+
+
+class TestValidation:
+    def test_validate_against_matching_table(self, table):
+        Index("orders", ["o_customer"]).validate_against(table)
+
+    def test_validate_wrong_table(self, table):
+        with pytest.raises(CatalogError):
+            Index("other", ["o_customer"]).validate_against(table)
+
+    def test_validate_unknown_column(self, table):
+        with pytest.raises(CatalogError):
+            Index("orders", ["missing"]).validate_against(table)
+
+
+class TestSizeModel:
+    def test_leaf_pages_positive(self, stats):
+        index = Index("orders", ["o_customer"])
+        assert index.leaf_pages(stats) > 0
+
+    def test_wider_index_is_larger(self, stats):
+        narrow = Index("orders", ["o_customer"])
+        wide = Index("orders", ["o_customer", "o_total"])
+        assert wide.leaf_pages(stats) > narrow.leaf_pages(stats)
+
+    def test_what_if_ignores_internal_pages(self, stats):
+        """The paper's simplification: hypothetical indexes count only leaves."""
+        hypothetical = Index("orders", ["o_customer"], hypothetical=True)
+        materialized = hypothetical.materialized()
+        assert materialized.size_in_pages(stats) > hypothetical.size_in_pages(stats)
+        assert hypothetical.size_in_pages(stats) == hypothetical.leaf_pages(stats)
+
+    def test_internal_pages_are_small_fraction(self, stats):
+        index = Index("orders", ["o_customer"])
+        assert index.internal_pages(stats) < 0.05 * index.leaf_pages(stats)
+
+    def test_size_in_bytes_consistent_with_pages(self, stats):
+        index = Index("orders", ["o_customer"])
+        assert index.size_in_bytes(stats) == index.size_in_pages(stats) * 8192
+
+    def test_materialized_copy_preserves_identity(self):
+        index = Index("orders", ["o_customer"])
+        assert index.materialized() == index
+        assert index.materialized().hypothetical is False

@@ -1,0 +1,156 @@
+"""Tests for histograms and table/column statistics."""
+
+import pytest
+
+from repro.catalog.schema import Column, ColumnType, Table
+from repro.catalog.statistics import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    statistics_from_rows,
+)
+from repro.util.errors import CatalogError
+
+
+class TestHistogram:
+    def test_uniform_total_matches_rows(self):
+        histogram = Histogram.uniform(1, 1000, 10_000, buckets=10)
+        assert histogram.total == 10_000
+
+    def test_selectivity_below_extremes(self):
+        histogram = Histogram.uniform(1, 1000, 10_000)
+        assert histogram.selectivity_below(0) == 0.0
+        assert histogram.selectivity_below(1000) == 1.0
+
+    def test_selectivity_below_midpoint(self):
+        histogram = Histogram.uniform(0, 1000, 10_000)
+        assert histogram.selectivity_below(500) == pytest.approx(0.5, abs=0.05)
+
+    def test_selectivity_between(self):
+        histogram = Histogram.uniform(0, 1000, 10_000)
+        assert histogram.selectivity_between(100, 200) == pytest.approx(0.1, abs=0.02)
+
+    def test_selectivity_between_reversed_is_zero(self):
+        histogram = Histogram.uniform(0, 1000, 10_000)
+        assert histogram.selectivity_between(200, 100) == 0.0
+
+    def test_degenerate_single_value(self):
+        histogram = Histogram.uniform(5, 5, 100)
+        assert histogram.total == 100
+        assert histogram.selectivity_below(5) == 1.0
+        assert histogram.selectivity_below(4) == 0.0
+
+    def test_from_values(self):
+        histogram = Histogram.from_values([1, 2, 3, 4, 5, 6, 7, 8, 9, 10], buckets=5)
+        assert histogram.total == 10
+        assert histogram.selectivity_between(1, 10) == pytest.approx(1.0)
+
+    def test_from_values_single_value(self):
+        histogram = Histogram.from_values([7, 7, 7])
+        assert histogram.total == 3
+
+    def test_from_values_empty_rejected(self):
+        with pytest.raises(CatalogError):
+            Histogram.from_values([])
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(CatalogError):
+            Histogram([10, 5], [3])
+        with pytest.raises(CatalogError):
+            Histogram([1, 2, 3], [5])  # wrong count length
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CatalogError):
+            Histogram([0, 1], [-1])
+
+
+class TestColumnStatistics:
+    def test_equality_selectivity_uses_ndv(self):
+        stats = ColumnStatistics(n_distinct=100)
+        assert stats.equality_selectivity() == pytest.approx(0.01)
+
+    def test_equality_selectivity_with_nulls(self):
+        stats = ColumnStatistics(n_distinct=100, null_fraction=0.5)
+        assert stats.equality_selectivity() == pytest.approx(0.005)
+
+    def test_equality_selectivity_zero_ndv_default(self):
+        stats = ColumnStatistics(n_distinct=0)
+        assert 0 < stats.equality_selectivity() < 1
+
+    def test_range_selectivity_without_histogram_is_default(self):
+        stats = ColumnStatistics(n_distinct=10)
+        assert stats.range_selectivity(1, 5) == pytest.approx(1.0 / 3.0)
+
+    def test_range_selectivity_with_histogram(self):
+        stats = ColumnStatistics(
+            n_distinct=1000,
+            min_value=0,
+            max_value=1000,
+            histogram=Histogram.uniform(0, 1000, 10_000),
+        )
+        assert stats.range_selectivity(0, 100) == pytest.approx(0.1, abs=0.02)
+
+    def test_invalid_null_fraction(self):
+        with pytest.raises(CatalogError):
+            ColumnStatistics(n_distinct=1, null_fraction=1.5)
+
+    def test_invalid_correlation(self):
+        with pytest.raises(CatalogError):
+            ColumnStatistics(n_distinct=1, correlation=2.0)
+
+
+class TestTableStatistics:
+    def _table(self):
+        return Table("t", [Column("id", ColumnType.BIGINT), Column("v", ColumnType.INTEGER)],
+                     primary_key="id")
+
+    def test_uniform_builds_stats_for_every_column(self):
+        stats = TableStatistics.uniform(self._table(), 10_000)
+        assert stats.row_count == 10_000
+        assert stats.column("id").n_distinct > 0
+        assert stats.column("v").histogram is not None
+
+    def test_primary_key_is_correlated(self):
+        stats = TableStatistics.uniform(self._table(), 10_000)
+        assert stats.column("id").correlation == 1.0
+        assert stats.column("v").correlation == 0.0
+
+    def test_heap_pages_grow_with_rows(self):
+        small = TableStatistics.uniform(self._table(), 10_000)
+        large = TableStatistics.uniform(self._table(), 100_000)
+        assert large.heap_pages > small.heap_pages
+        assert large.heap_bytes == large.heap_pages * 8192
+
+    def test_unknown_column_rejected(self):
+        stats = TableStatistics.uniform(self._table(), 100)
+        with pytest.raises(CatalogError):
+            stats.column("missing")
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            TableStatistics(self._table(), -1)
+
+    def test_distinct_values_clamped_to_rows(self):
+        stats = TableStatistics.uniform(self._table(), 100, max_value=10_000)
+        assert stats.distinct_values("v") <= 100
+
+    def test_missing_column_stats_synthesised(self):
+        stats = TableStatistics(self._table(), 1000, {})
+        derived = stats.column("v")
+        assert derived.n_distinct > 0
+
+
+class TestStatisticsFromRows:
+    def test_ndv_and_range(self):
+        table = Table("t", [Column("a", ColumnType.INTEGER)])
+        rows = [{"a": i % 10} for i in range(100)]
+        stats = statistics_from_rows(table, rows)
+        assert stats.row_count == 100
+        assert stats.column("a").n_distinct == 10
+        assert stats.column("a").min_value == 0
+        assert stats.column("a").max_value == 9
+
+    def test_handles_all_null_column(self):
+        table = Table("t", [Column("a", ColumnType.INTEGER, nullable=True)])
+        stats = statistics_from_rows(table, [{"a": None}, {"a": None}])
+        assert stats.column("a").null_fraction == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.catalog == "star"
+        assert args.command == "explain"
+
+    def test_recommend_options(self):
+        args = build_parser().parse_args(
+            ["recommend", "--catalog", "tpch", "--budget-gb", "2", "--cost-model", "inum"]
+        )
+        assert args.budget_gb == 2.0
+        assert args.cost_model == "inum"
+
+
+class TestExplain:
+    def test_explain_sql_on_tpch(self, capsys):
+        code = main([
+            "explain", "--catalog", "tpch", "--sql",
+            "SELECT nation.n_name FROM nation, region "
+            "WHERE nation.n_regionkey = region.r_regionkey ORDER BY nation.n_name",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimated cost" in out
+        assert "Scan" in out
+
+    def test_explain_builtin_query_number(self, capsys):
+        code = main(["explain", "--catalog", "star", "--query-number", "1"])
+        assert code == 0
+        assert "Q1" in capsys.readouterr().out
+
+    def test_explain_disable_nestloop(self, capsys):
+        code = main([
+            "explain", "--catalog", "tpch", "--query-number", "2", "--disable-nestloop",
+        ])
+        assert code == 0
+        assert "Nestloop" not in capsys.readouterr().out
+
+    def test_invalid_sql_reports_error(self, capsys):
+        code = main(["explain", "--catalog", "tpch", "--sql", "SELECT FROM nowhere"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRecommend:
+    def test_recommend_on_star_subset(self, capsys):
+        code = main([
+            "recommend", "--catalog", "star", "--query-number", "2",
+            "--budget-gb", "1", "--max-candidates", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "indexes selected" in out
+        assert "Per-query estimated cost" in out
+
+
+class TestCache:
+    def test_cache_stats_pinum(self, capsys):
+        code = main(["cache", "--catalog", "star", "--query-number", "2", "--builder", "pinum"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Plan-cache construction (pinum)" in out
+
+    def test_cache_save_round_trip(self, tmp_path, capsys):
+        prefix = tmp_path / "demo"
+        code = main([
+            "cache", "--catalog", "star", "--query-number", "1",
+            "--builder", "pinum", "--save", str(prefix),
+        ])
+        assert code == 0
+        saved = list(tmp_path.glob("demo.Q1.json"))
+        assert len(saved) == 1
+        payload = json.loads(saved[0].read_text())
+        assert payload["query_name"] == "Q1"
+
+    def test_sql_file_input(self, tmp_path, capsys):
+        sql_file = tmp_path / "workload.sql"
+        sql_file.write_text(
+            "SELECT customer.c_custkey FROM customer, orders "
+            "WHERE customer.c_custkey = orders.o_custkey ORDER BY customer.c_custkey;\n"
+            "SELECT orders.o_totalprice FROM orders WHERE orders.o_totalprice < 1000"
+        )
+        code = main(["cache", "--catalog", "tpch", "--sql-file", str(sql_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file_q1" in out and "file_q2" in out

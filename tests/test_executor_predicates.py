@@ -1,0 +1,70 @@
+"""Tests for executor-side predicate evaluation over qualified rows."""
+
+import pytest
+
+from repro.executor.predicates import (
+    apply_predicates,
+    predicate_matches,
+    qualified,
+    qualify_row,
+)
+from repro.query.ast import ColumnRef, Comparison, Predicate
+from repro.util.errors import ExecutionError
+
+
+def predicate(op, value, value2=None, column="a"):
+    return Predicate(ColumnRef("t", column), op, value, value2)
+
+
+class TestQualification:
+    def test_qualified_key_format(self):
+        assert qualified("t", "a") == "t.a"
+
+    def test_qualify_row(self):
+        assert qualify_row("t", {"a": 1, "b": 2}) == {"t.a": 1, "t.b": 2}
+
+
+class TestPredicateMatches:
+    def test_all_comparisons(self):
+        row = {"t.a": 5}
+        assert predicate_matches(predicate(Comparison.EQ, 5), row)
+        assert predicate_matches(predicate(Comparison.NE, 4), row)
+        assert predicate_matches(predicate(Comparison.LT, 6), row)
+        assert predicate_matches(predicate(Comparison.LE, 5), row)
+        assert predicate_matches(predicate(Comparison.GT, 4), row)
+        assert predicate_matches(predicate(Comparison.GE, 5), row)
+        assert predicate_matches(predicate(Comparison.BETWEEN, 4, 6), row)
+
+    def test_non_matching(self):
+        row = {"t.a": 10}
+        assert not predicate_matches(predicate(Comparison.EQ, 5), row)
+        assert not predicate_matches(predicate(Comparison.BETWEEN, 1, 9), row)
+        assert not predicate_matches(predicate(Comparison.LT, 10), row)
+
+    def test_null_value_never_matches(self):
+        row = {"t.a": None}
+        assert not predicate_matches(predicate(Comparison.EQ, 5), row)
+        assert not predicate_matches(predicate(Comparison.NE, 5), row)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError):
+            predicate_matches(predicate(Comparison.EQ, 5), {"t.b": 1})
+
+
+class TestApplyPredicates:
+    def test_conjunction(self):
+        rows = [{"t.a": i, "t.b": i * 2} for i in range(10)]
+        predicates = [
+            predicate(Comparison.GE, 3),
+            Predicate(ColumnRef("t", "b"), Comparison.LT, 14),
+        ]
+        filtered = apply_predicates(predicates, rows)
+        assert [row["t.a"] for row in filtered] == [3, 4, 5, 6]
+
+    def test_empty_predicate_list_returns_all(self):
+        rows = [{"t.a": 1}, {"t.a": 2}]
+        assert apply_predicates([], rows) == rows
+
+    def test_no_matches(self):
+        rows = [{"t.a": 1}]
+        assert apply_predicates([predicate(Comparison.GT, 100)], rows) == []

@@ -1,0 +1,90 @@
+"""Tests for the access-cost table."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.inum.access_costs import AccessCostInfo, AccessCostTable
+from repro.optimizer.plan import AccessPath
+from repro.util.errors import PlanningError
+
+
+def seq_path(table="t", cost=100.0):
+    return AccessPath(table=table, method="seqscan", cost=cost, rows=1000, covering=True)
+
+
+def index_path(table="t", column="a", cost=40.0, rescan=2.0):
+    return AccessPath(
+        table=table, method="indexscan", cost=cost, rows=1000,
+        index=Index(table, [column]), provided_order=column, rescan_cost=rescan,
+    )
+
+
+class TestAccessCostInfo:
+    def test_from_seq_path(self):
+        info = AccessCostInfo.from_path(seq_path())
+        assert info.index_key is None
+        assert info.covers_order(None)
+        assert not info.covers_order("a")
+
+    def test_from_index_path(self):
+        info = AccessCostInfo.from_path(index_path())
+        assert info.index_key == ("t", ("a",))
+        assert info.covers_order("a")
+        assert info.covers_order(None)
+        assert info.probe_cost == 2.0
+
+
+class TestAccessCostTable:
+    def test_heap_lookup(self):
+        table = AccessCostTable()
+        table.add_path(seq_path())
+        assert table.has_heap("t")
+        assert table.heap("t").full_cost == 100.0
+
+    def test_missing_heap_raises(self):
+        table = AccessCostTable()
+        with pytest.raises(PlanningError):
+            table.heap("t")
+
+    def test_for_index(self):
+        table = AccessCostTable()
+        table.add_path(index_path())
+        assert table.for_index(Index("t", ["a"])).full_cost == 40.0
+        assert table.for_index(Index("t", ["zzz"])) is None
+
+    def test_add_overwrites_same_key(self):
+        table = AccessCostTable()
+        table.add_path(index_path(cost=40.0))
+        table.add_path(index_path(cost=10.0))
+        assert len(table) == 1
+        assert table.for_index(Index("t", ["a"])).full_cost == 10.0
+
+    def test_entries_for_table(self):
+        table = AccessCostTable()
+        table.add_path(seq_path())
+        table.add_path(index_path())
+        table.add_path(seq_path(table="u"))
+        assert len(table.entries_for_table("t")) == 2
+        assert table.tables() == ["t", "u"]
+
+    def test_best_access_prefers_cheapest_when_no_order_required(self):
+        table = AccessCostTable()
+        table.add_path(seq_path(cost=100.0))
+        table.add_path(index_path(cost=10.0))
+        best = table.best_access("t", Index("t", ["a"]), required_order=None)
+        assert best.full_cost == 10.0
+
+    def test_best_access_requires_covering_index_for_order(self):
+        table = AccessCostTable()
+        table.add_path(seq_path())
+        table.add_path(index_path(column="a"))
+        # Requiring order "a" with an index on "b" in the configuration fails.
+        assert table.best_access("t", Index("t", ["b"]), required_order="a") is None
+        # The heap cannot satisfy a required order either.
+        assert table.best_access("t", None, required_order="a") is None
+        # The right index satisfies it.
+        assert table.best_access("t", Index("t", ["a"]), required_order="a") is not None
+
+    def test_best_access_with_no_information(self):
+        table = AccessCostTable()
+        assert table.best_access("t", None, None) is None

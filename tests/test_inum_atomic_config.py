@@ -1,0 +1,91 @@
+"""Tests for atomic configurations."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.inum.atomic_config import AtomicConfiguration, enumerate_atomic_configurations
+from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.util.errors import PlanningError
+
+
+class TestConstruction:
+    def test_one_index_per_table_enforced(self):
+        with pytest.raises(PlanningError):
+            AtomicConfiguration([Index("t", ["a"]), Index("t", ["b"])])
+
+    def test_same_index_twice_is_fine(self):
+        index = Index("t", ["a"])
+        config = AtomicConfiguration([index, Index("t", ["a"])])
+        assert len(config) == 1
+
+    def test_empty_configuration(self):
+        config = AtomicConfiguration([])
+        assert len(config) == 0
+        assert config.index_for("t") is None
+
+    def test_equality_and_hash(self):
+        a = AtomicConfiguration([Index("t", ["a"]), Index("u", ["b"])])
+        b = AtomicConfiguration([Index("u", ["b"]), Index("t", ["a"])])
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_index_for(self):
+        index = Index("t", ["a"])
+        config = AtomicConfiguration([index])
+        assert config.index_for("t") == index
+        assert config.index_for("other") is None
+
+    def test_restricted_to(self):
+        config = AtomicConfiguration([Index("t", ["a"]), Index("u", ["b"])])
+        restricted = config.restricted_to(["t"])
+        assert restricted.tables == ("t",)
+
+
+class TestCoverage:
+    def test_covers_empty_combination(self):
+        ioc = InterestingOrderCombination({"t": None, "u": None})
+        assert AtomicConfiguration([]).covers(ioc)
+
+    def test_covers_when_leading_column_matches(self):
+        ioc = InterestingOrderCombination({"t": "a", "u": None})
+        assert AtomicConfiguration([Index("t", ["a", "x"])]).covers(ioc)
+
+    def test_not_covered_when_order_column_not_leading(self):
+        ioc = InterestingOrderCombination({"t": "a"})
+        assert not AtomicConfiguration([Index("t", ["x", "a"])]).covers(ioc)
+
+    def test_not_covered_when_table_has_no_index(self):
+        ioc = InterestingOrderCombination({"t": "a", "u": "b"})
+        assert not AtomicConfiguration([Index("t", ["a"])]).covers(ioc)
+
+    def test_size_in_bytes(self, small_catalog):
+        config = AtomicConfiguration([Index("sales", ["s_customer"])])
+        assert config.size_in_bytes(small_catalog) > 0
+        assert AtomicConfiguration([]).size_in_bytes(small_catalog) == 0
+
+
+class TestEnumeration:
+    def test_counts(self, join_query):
+        candidates = [
+            Index("sales", ["s_customer"]),
+            Index("sales", ["s_product"]),
+            Index("customers", ["c_id"]),
+        ]
+        configs = enumerate_atomic_configurations(join_query, candidates)
+        # (2 sales choices + none) * (1 customers + none) * (none for products)
+        assert len(configs) == 3 * 2 * 1
+        assert all(isinstance(c, AtomicConfiguration) for c in configs)
+
+    def test_limit_truncates(self, join_query):
+        candidates = [Index("sales", ["s_customer"]), Index("customers", ["c_id"])]
+        configs = enumerate_atomic_configurations(join_query, candidates, limit=2)
+        assert len(configs) == 2
+
+    def test_without_empty_choice(self, join_query):
+        candidates = [Index("sales", ["s_customer"]), Index("customers", ["c_id"])]
+        configs = enumerate_atomic_configurations(
+            join_query, candidates, include_empty_choice=False
+        )
+        # Tables with no candidates still fall back to the empty choice.
+        assert len(configs) == 1
+        assert len(configs[0]) == 2

@@ -1,0 +1,89 @@
+"""Tests for plan-cache serialization (save/load round trips)."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.inum import AtomicConfiguration, InumCostModel
+from repro.inum.serialization import (
+    FORMAT_VERSION,
+    cache_from_dict,
+    cache_to_dict,
+    load_cache,
+    save_cache,
+)
+from repro.optimizer import Optimizer
+from repro.pinum import PinumCacheBuilder
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def candidates():
+    return [
+        Index("sales", ["s_customer"]),
+        Index("sales", ["s_customer", "s_amount", "s_product"]),
+        Index("customers", ["c_id"]),
+        Index("products", ["p_category", "p_id", "p_price"]),
+    ]
+
+
+@pytest.fixture
+def cache(small_catalog, join_query, candidates):
+    return PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_estimates(self, cache, join_query, candidates):
+        payload = cache_to_dict(cache)
+        restored = cache_from_dict(payload, join_query)
+        original_model = InumCostModel(cache)
+        restored_model = InumCostModel(restored)
+        configurations = [
+            AtomicConfiguration([]),
+            AtomicConfiguration([candidates[0], candidates[2]]),
+            AtomicConfiguration([candidates[1], candidates[2], candidates[3]]),
+        ]
+        for configuration in configurations:
+            assert restored_model.estimate(configuration) == pytest.approx(
+                original_model.estimate(configuration)
+            )
+
+    def test_round_trip_preserves_structure(self, cache, join_query):
+        restored = cache_from_dict(cache_to_dict(cache), join_query)
+        assert restored.entry_count == cache.entry_count
+        assert restored.combination_count == cache.combination_count
+        assert restored.unique_plan_count() == cache.unique_plan_count()
+        assert len(restored.access_costs) == len(cache.access_costs)
+        assert restored.build_stats.optimizer_calls_total == cache.build_stats.optimizer_calls_total
+
+    def test_payload_is_json_friendly(self, cache):
+        import json
+
+        text = json.dumps(cache_to_dict(cache))
+        assert "format_version" in text
+
+    def test_version_field_present(self, cache):
+        assert cache_to_dict(cache)["format_version"] == FORMAT_VERSION
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, cache, join_query):
+        payload = cache_to_dict(cache)
+        payload["format_version"] = 999
+        with pytest.raises(PlanningError):
+            cache_from_dict(payload, join_query)
+
+    def test_wrong_query_rejected(self, cache, simple_query):
+        payload = cache_to_dict(cache)
+        with pytest.raises(PlanningError):
+            cache_from_dict(payload, simple_query)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, cache, join_query, tmp_path, candidates):
+        path = tmp_path / "cache.json"
+        save_cache(cache, str(path))
+        restored = load_cache(str(path), join_query)
+        restored.validate()
+        assert InumCostModel(restored).estimate(
+            AtomicConfiguration([candidates[0]])
+        ) == pytest.approx(InumCostModel(cache).estimate(AtomicConfiguration([candidates[0]])))

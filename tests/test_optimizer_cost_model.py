@@ -1,0 +1,125 @@
+"""Tests for the cost model's formulas and their qualitative trade-offs."""
+
+import pytest
+
+from repro.optimizer.cost_model import CostModel, CostParameters
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+class TestParameters:
+    def test_defaults_are_postgres_like(self):
+        params = CostParameters()
+        assert params.seq_page_cost == 1.0
+        assert params.random_page_cost == 4.0
+        assert params.cpu_tuple_cost == 0.01
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(PlanningError):
+            CostParameters(seq_page_cost=-1)
+
+    def test_invalid_work_mem_rejected(self):
+        with pytest.raises(PlanningError):
+            CostParameters(work_mem_pages=0)
+
+
+class TestScans:
+    def test_seq_scan_scales_with_pages(self, model):
+        assert model.seq_scan(2000, 10_000) > model.seq_scan(1000, 10_000)
+
+    def test_seq_scan_filter_clauses_add_cpu(self, model):
+        assert model.seq_scan(1000, 10_000, filter_clauses=2) > model.seq_scan(1000, 10_000)
+
+    def test_index_scan_cheaper_at_low_selectivity(self, model):
+        expensive = model.index_scan(1000, 10_000, 1_000_000, selectivity=0.5)
+        cheap = model.index_scan(1000, 10_000, 1_000_000, selectivity=0.001)
+        assert cheap < expensive
+
+    def test_selective_index_scan_beats_seq_scan(self, model):
+        seq = model.seq_scan(10_000, 1_000_000)
+        idx = model.index_scan(2_000, 10_000, 1_000_000, selectivity=0.001)
+        assert idx < seq
+
+    def test_full_uncorrelated_index_scan_worse_than_seq_scan(self, model):
+        """Random heap fetches make a full non-covering index scan a bad idea."""
+        seq = model.seq_scan(10_000, 1_000_000)
+        idx = model.index_scan(2_000, 10_000, 1_000_000, selectivity=1.0, correlation=0.0)
+        assert idx > seq
+
+    def test_covering_index_scan_avoids_heap(self, model):
+        covering = model.index_scan(2_000, 10_000, 1_000_000, 0.1, covering=True)
+        fetching = model.index_scan(2_000, 10_000, 1_000_000, 0.1, covering=False)
+        assert covering < fetching
+
+    def test_correlation_reduces_heap_cost(self, model):
+        clustered = model.index_scan(2_000, 10_000, 1_000_000, 0.1, correlation=1.0)
+        scattered = model.index_scan(2_000, 10_000, 1_000_000, 0.1, correlation=0.0)
+        assert clustered < scattered
+
+    def test_index_probe_much_cheaper_than_full_scan(self, model):
+        probe = model.index_probe(2_000, 1_000_000, rows_per_probe=2)
+        full = model.index_scan(2_000, 10_000, 1_000_000, selectivity=1.0)
+        assert probe < full / 100
+
+    def test_selectivity_clamped(self, model):
+        assert model.index_scan(100, 100, 1000, selectivity=2.0) == model.index_scan(
+            100, 100, 1000, selectivity=1.0
+        )
+
+
+class TestSortAndAggregate:
+    def test_sort_cost_superlinear(self, model):
+        small = model.sort(0.0, 10_000, 50)
+        large = model.sort(0.0, 100_000, 50)
+        assert large > 10 * small
+
+    def test_sort_includes_input_cost(self, model):
+        assert model.sort(500.0, 1000, 50) >= 500.0
+
+    def test_external_sort_pays_io(self, model):
+        in_memory = model.sort(0.0, 10_000, 100)
+        spilling = model.sort(0.0, 10_000_000, 100)
+        # The spilling sort must include the write+read I/O term.
+        assert spilling > model.sort(0.0, 10_000_000, 1)
+
+    def test_sorted_aggregate_cheaper_than_hashed(self, model):
+        hashed = model.aggregate_hashed(0.0, 100_000, 100, 1, 1)
+        sorted_ = model.aggregate_sorted(0.0, 100_000, 100, 1, 1)
+        assert sorted_ <= hashed
+
+
+class TestJoins:
+    def test_hash_join_includes_both_inputs(self, model):
+        cost = model.hash_join(100.0, 200.0, 1000, 2000, 500)
+        assert cost > 300.0
+
+    def test_merge_join_includes_both_inputs(self, model):
+        cost = model.merge_join(100.0, 200.0, 1000, 2000, 500)
+        assert cost > 300.0
+
+    def test_nested_loop_scales_with_outer_rows(self, model):
+        few = model.nested_loop_join(100.0, 10, 5.0, 100)
+        many = model.nested_loop_join(100.0, 10_000, 5.0, 100)
+        assert many > few
+
+    def test_nested_loop_attractive_at_low_outer_cardinality(self, model):
+        """The Section V-D trade-off: NLJ wins when probes are few and cheap."""
+        probe_cost = model.index_probe(1_000, 1_000_000, rows_per_probe=1)
+        nlj = model.nested_loop_join(50.0, 100, probe_cost, 100)
+        hash_join = model.hash_join(50.0, model.seq_scan(10_000, 1_000_000), 100, 1_000_000, 100)
+        assert nlj < hash_join
+
+    def test_nested_loop_degrades_with_access_cost(self, model):
+        """And loses once per-probe access becomes expensive."""
+        cheap_probe = model.nested_loop_join(50.0, 100_000, 2.0, 100_000)
+        pricey_probe = model.nested_loop_join(50.0, 100_000, 50.0, 100_000)
+        assert pricey_probe > cheap_probe
+
+    def test_nestloop_penalty_added(self, model):
+        base = model.nested_loop_join(10.0, 10, 1.0, 10)
+        penalised = model.nested_loop_join(10.0, 10, 1.0, 10, nestloop_penalty=1e9)
+        assert penalised == pytest.approx(base + 1e9)

@@ -1,0 +1,170 @@
+"""Tests for plan nodes, leaf slots and the INUM cost decomposition."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.optimizer.plan import (
+    AccessPath,
+    AggregateNode,
+    HashJoinNode,
+    LeafSlot,
+    MergeJoinNode,
+    NestLoopJoinNode,
+    PlanSummary,
+    ScanNode,
+    SortNode,
+)
+from repro.query.ast import ColumnRef, JoinPredicate
+from repro.util.errors import PlanningError
+
+
+def make_seq_path(table="sales", cost=100.0, rows=1000.0):
+    return AccessPath(table=table, method="seqscan", cost=cost, rows=rows, covering=True)
+
+
+def make_index_path(table="customers", column="c_id", cost=40.0, rows=500.0, rescan=2.0):
+    index = Index(table, [column])
+    return AccessPath(
+        table=table, method="indexscan", cost=cost, rows=rows, index=index,
+        provided_order=column, rescan_cost=rescan, rows_per_probe=1.0,
+    )
+
+
+class TestAccessPath:
+    def test_invalid_method_rejected(self):
+        with pytest.raises(PlanningError):
+            AccessPath(table="t", method="bitmap", cost=1, rows=1)
+
+    def test_index_scan_requires_index(self):
+        with pytest.raises(PlanningError):
+            AccessPath(table="t", method="indexscan", cost=1, rows=1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PlanningError):
+            AccessPath(table="t", method="seqscan", cost=-1, rows=1)
+
+    def test_supports_probe(self):
+        assert make_index_path().supports_probe
+        assert not make_seq_path().supports_probe
+
+    def test_describe_mentions_method(self):
+        assert "SeqScan" in make_seq_path().describe()
+        assert "IndexScan" in make_index_path().describe()
+
+
+class TestScanNode:
+    def test_scan_cost_and_order(self):
+        node = ScanNode(make_index_path())
+        assert node.total_cost == 40.0
+        assert ColumnRef("customers", "c_id") in node.output_order
+
+    def test_seq_scan_has_no_order(self):
+        assert ScanNode(make_seq_path()).output_order == frozenset()
+
+    def test_parameterized_scan_cost(self):
+        node = ScanNode(make_index_path(rescan=2.0), multiplier=100.0, parameterized=True)
+        assert node.total_cost == pytest.approx(200.0)
+        slot = node.leaf_slots()[0]
+        assert slot.parameterized
+        assert slot.contribution == pytest.approx(200.0)
+
+    def test_parameterized_requires_rescan_cost(self):
+        with pytest.raises(PlanningError):
+            ScanNode(make_seq_path(), multiplier=10, parameterized=True)
+
+    def test_tables(self):
+        assert ScanNode(make_seq_path()).tables == frozenset({"sales"})
+
+
+class TestJoinNodes:
+    def _join(self):
+        return JoinPredicate(ColumnRef("sales", "s_customer"), ColumnRef("customers", "c_id"))
+
+    def test_hash_join_structure(self):
+        outer = ScanNode(make_seq_path())
+        inner = ScanNode(make_index_path())
+        node = HashJoinNode(outer, inner, self._join(), 500.0, 2000.0)
+        assert node.tables == frozenset({"sales", "customers"})
+        assert len(node.leaf_slots()) == 2
+        assert not node.uses_nested_loop()
+
+    def test_nested_loop_detected(self):
+        outer = ScanNode(make_seq_path())
+        inner = ScanNode(make_index_path(), multiplier=outer.rows, parameterized=True)
+        node = NestLoopJoinNode(outer, inner, self._join(), 800.0, 2000.0)
+        assert node.uses_nested_loop()
+
+    def test_internal_cost_decomposition_exact(self):
+        """total == internal + sum(leaf contributions) for every operator mix."""
+        outer = ScanNode(make_seq_path(cost=100.0))
+        inner = ScanNode(make_index_path(cost=40.0))
+        join = HashJoinNode(outer, inner, self._join(), 500.0, 2000.0)
+        assert join.internal_cost() + join.access_cost() == pytest.approx(join.total_cost)
+        assert join.access_cost() == pytest.approx(140.0)
+
+    def test_internal_cost_with_parameterized_inner(self):
+        outer = ScanNode(make_seq_path(cost=100.0, rows=50.0))
+        inner = ScanNode(make_index_path(rescan=2.0), multiplier=50.0, parameterized=True)
+        node = NestLoopJoinNode(outer, inner, self._join(), 230.0, 500.0)
+        assert node.access_cost() == pytest.approx(100.0 + 50.0 * 2.0)
+        assert node.internal_cost() == pytest.approx(30.0)
+
+    def test_required_ioc_uses_leaf_orders(self):
+        outer = ScanNode(make_seq_path())
+        inner = ScanNode(make_index_path())
+        node = MergeJoinNode(outer, inner, self._join(), 400.0, 1000.0)
+        ioc = node.required_ioc()
+        assert ioc.order_for("customers") == "c_id"
+        assert ioc.order_for("sales") is None
+
+    def test_indexes_used(self):
+        outer = ScanNode(make_seq_path())
+        inner = ScanNode(make_index_path())
+        node = HashJoinNode(outer, inner, self._join(), 400.0, 1000.0)
+        assert [i.table for i in node.indexes_used()] == ["customers"]
+
+
+class TestOtherNodes:
+    def test_sort_node_sets_output_order(self):
+        child = ScanNode(make_seq_path())
+        node = SortNode(child, (ColumnRef("sales", "s_amount"),), 300.0)
+        assert ColumnRef("sales", "s_amount") in node.output_order
+        assert node.rows == child.rows
+
+    def test_aggregate_node_strategies(self):
+        child = ScanNode(make_seq_path())
+        hashed = AggregateNode(child, "hashed", (ColumnRef("sales", "s_customer"),), 200.0, 10.0)
+        assert hashed.output_order == frozenset()
+        with pytest.raises(PlanningError):
+            AggregateNode(child, "magic", (), 200.0, 10.0)
+
+    def test_explain_contains_all_nodes(self):
+        child = ScanNode(make_seq_path())
+        node = SortNode(child, (ColumnRef("sales", "s_amount"),), 300.0)
+        text = node.explain()
+        assert "Sort" in text and "SeqScan" in text
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PlanningError):
+            SortNode(ScanNode(make_seq_path()), (), -1.0)
+
+
+class TestLeafSlot:
+    def test_parameterized_slot_without_rescan_cost_rejected(self):
+        slot = LeafSlot("sales", make_seq_path(), multiplier=10, parameterized=True)
+        with pytest.raises(PlanningError):
+            _ = slot.contribution
+
+
+class TestPlanSummary:
+    def test_identical_structure_same_key(self):
+        join = JoinPredicate(ColumnRef("sales", "s_customer"), ColumnRef("customers", "c_id"))
+        plan_a = HashJoinNode(ScanNode(make_seq_path()), ScanNode(make_index_path()), join, 500, 100)
+        plan_b = HashJoinNode(ScanNode(make_seq_path(cost=999)), ScanNode(make_index_path(cost=1)), join, 123, 100)
+        assert PlanSummary.of(plan_a).structural_key() == PlanSummary.of(plan_b).structural_key()
+
+    def test_different_structure_different_key(self):
+        join = JoinPredicate(ColumnRef("sales", "s_customer"), ColumnRef("customers", "c_id"))
+        hash_plan = HashJoinNode(ScanNode(make_seq_path()), ScanNode(make_index_path()), join, 500, 100)
+        merge_plan = MergeJoinNode(ScanNode(make_seq_path()), ScanNode(make_index_path()), join, 500, 100)
+        assert PlanSummary.of(hash_plan).structural_key() != PlanSummary.of(merge_plan).structural_key()

@@ -1,0 +1,132 @@
+"""Tests for the PINUM cache builder: one (or two) calls fill the whole cache."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.inum import AtomicConfiguration, InumCacheBuilder, InumCostModel
+from repro.optimizer import Optimizer
+from repro.optimizer.interesting_orders import combination_count
+from repro.pinum import PinumBuilderOptions, PinumCacheBuilder, PinumCostModel
+from repro.pinum.cache_builder import probing_index_set
+
+
+@pytest.fixture
+def candidates():
+    return [
+        Index("sales", ["s_customer"]),
+        Index("sales", ["s_customer", "s_amount", "s_product"]),
+        Index("customers", ["c_id"]),
+        Index("customers", ["c_region", "c_id"]),
+        Index("products", ["p_id"]),
+        Index("products", ["p_category", "p_id", "p_price"]),
+    ]
+
+
+class TestProbingIndexSet:
+    def test_one_index_per_interesting_order(self, join_query):
+        indexes = probing_index_set(join_query)
+        assert all(len(index.columns) == 1 for index in indexes)
+        tables = {index.table for index in indexes}
+        assert tables <= set(join_query.tables)
+        # sales has two join columns, customers has a join + group column.
+        assert len([i for i in indexes if i.table == "sales"]) == 2
+        assert len([i for i in indexes if i.table == "customers"]) == 2
+
+
+class TestCallCounts:
+    def test_plan_cache_uses_two_calls_by_default(self, small_catalog, join_query):
+        optimizer = Optimizer(small_catalog)
+        cache = PinumCacheBuilder(optimizer).build_plan_cache(join_query)
+        assert cache.build_stats.optimizer_calls_plans == 2
+        assert optimizer.call_count == 2
+
+    def test_nestloop_calls_zero(self, small_catalog, join_query):
+        optimizer = Optimizer(small_catalog)
+        builder = PinumCacheBuilder(optimizer, PinumBuilderOptions(nestloop_calls=0))
+        cache = builder.build_plan_cache(join_query)
+        assert cache.build_stats.optimizer_calls_plans == 1
+
+    def test_full_build_uses_three_calls(self, small_catalog, join_query, candidates):
+        optimizer = Optimizer(small_catalog)
+        cache = PinumCacheBuilder(optimizer).build_cache(join_query, candidates)
+        assert cache.build_stats.optimizer_calls_total == 3
+
+    def test_access_cost_collection_optional(self, small_catalog, join_query):
+        optimizer = Optimizer(small_catalog)
+        builder = PinumCacheBuilder(
+            optimizer, PinumBuilderOptions(collect_access_costs=False, nestloop_calls=0)
+        )
+        with pytest.raises(Exception):
+            builder.build_cache(join_query)  # validation fails without heap costs
+
+    def test_orders_of_magnitude_fewer_calls_than_inum(self, small_catalog, join_query, candidates):
+        """The paper's headline: PINUM needs a constant number of calls."""
+        optimizer = Optimizer(small_catalog)
+        pinum_cache = PinumCacheBuilder(optimizer).build_cache(join_query, candidates)
+        inum_cache = InumCacheBuilder(optimizer).build_cache(join_query, candidates)
+        assert (
+            pinum_cache.build_stats.optimizer_calls_total
+            < inum_cache.build_stats.optimizer_calls_total / 5
+        )
+        assert inum_cache.build_stats.optimizer_calls_plans >= combination_count(join_query)
+
+
+class TestCacheContents:
+    def test_cache_validates(self, small_catalog, join_query, candidates):
+        cache = PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        cache.validate()
+        assert cache.entry_count >= 1
+
+    def test_all_candidate_access_costs_collected(self, small_catalog, join_query, candidates):
+        cache = PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        for candidate in candidates:
+            assert cache.access_costs.for_index(candidate) is not None
+
+    def test_empty_order_entry_always_present(self, small_catalog, join_query, candidates):
+        cache = PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        assert any(entry.ioc.order_count == 0 for entry in cache.entries)
+
+    def test_subsumption_pruning_shrinks_cache(self, small_catalog, join_query, candidates):
+        pruned = PinumCacheBuilder(
+            Optimizer(small_catalog), PinumBuilderOptions(subsumption_pruning=True)
+        ).build_cache(join_query, candidates)
+        unpruned = PinumCacheBuilder(
+            Optimizer(small_catalog), PinumBuilderOptions(subsumption_pruning=False)
+        ).build_cache(join_query, candidates)
+        assert pruned.entry_count <= unpruned.entry_count
+
+    def test_nestloop_variants_cached(self, small_catalog, join_query, candidates):
+        cache = PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        sources = {entry.source for entry in cache.entries}
+        assert sources == {"pinum"}
+        # At least one entry may use nested loops (selective probe available);
+        # if none does, the estimation still works, so just sanity-check types.
+        assert all(isinstance(entry.uses_nestloop, bool) for entry in cache.entries)
+
+
+class TestEquivalenceWithInum:
+    def test_same_estimates_as_inum_cache(self, small_catalog, join_query, candidates):
+        """PINUM fills the same cache, so estimates must agree closely."""
+        optimizer = Optimizer(small_catalog)
+        pinum_model = PinumCostModel(
+            PinumCacheBuilder(optimizer).build_cache(join_query, candidates)
+        )
+        inum_model = InumCostModel(
+            InumCacheBuilder(optimizer).build_cache(join_query, candidates)
+        )
+        configurations = [
+            AtomicConfiguration([]),
+            AtomicConfiguration([candidates[0], candidates[2]]),
+            AtomicConfiguration([candidates[1], candidates[3], candidates[5]]),
+        ]
+        for configuration in configurations:
+            assert pinum_model.estimate(configuration) == pytest.approx(
+                inum_model.estimate(configuration), rel=0.1
+            )
+
+    def test_build_bookkeeping_exposed(self, small_catalog, join_query, candidates):
+        model = PinumCostModel(
+            PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        )
+        assert model.build_optimizer_calls == 3
+        assert model.build_seconds > 0

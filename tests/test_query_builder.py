@@ -1,0 +1,78 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.query import QueryBuilder
+from repro.query.ast import Comparison
+from repro.util.errors import QueryError
+
+
+class TestQueryBuilder:
+    def test_minimal_query(self):
+        query = QueryBuilder("q").select("t.a").from_tables("t").build()
+        assert query.tables == ("t",)
+        assert str(query.select_columns[0]) == "t.a"
+
+    def test_join_adds_tables_implicitly(self):
+        query = QueryBuilder("q").select("a.x").join("a.id", "b.a_id").build()
+        assert set(query.tables) == {"a", "b"}
+        assert len(query.joins) == 1
+
+    def test_where_with_operator_strings(self):
+        query = (
+            QueryBuilder("q")
+            .select("t.a")
+            .from_tables("t")
+            .where("t.a", "<=", 10)
+            .where("t.b", ">", 1)
+            .build()
+        )
+        ops = {f.op for f in query.filters}
+        assert ops == {Comparison.LE, Comparison.GT}
+
+    def test_where_between_shorthand(self):
+        query = (
+            QueryBuilder("q").select("t.a").from_tables("t").where_between("t.a", 1, 5).build()
+        )
+        assert query.filters[0].op is Comparison.BETWEEN
+        assert query.filters[0].value2 == 5
+
+    def test_aggregate_and_group_by(self):
+        query = (
+            QueryBuilder("q")
+            .aggregate("sum", "t.amount")
+            .select("t.region")
+            .from_tables("t")
+            .group_by("t.region")
+            .build()
+        )
+        assert query.has_aggregation
+        assert str(query.aggregates[0]) == "sum(t.amount)"
+
+    def test_count_star(self):
+        query = QueryBuilder("q").aggregate("count").from_tables("t").build()
+        assert str(query.aggregates[0]) == "count(*)"
+
+    def test_order_by_descending(self):
+        query = QueryBuilder("q").select("t.a").from_tables("t").order_by("t.a", descending=True).build()
+        assert query.order_by[0].descending
+
+    def test_bad_column_reference(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").select("no_dot_here")
+
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").where("t.a", "~~", 3)
+
+    def test_bad_aggregate(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").aggregate("median", "t.a")
+
+    def test_empty_table_name(self):
+        with pytest.raises(QueryError):
+            QueryBuilder("q").from_tables("")
+
+    def test_duplicate_from_tables_ignored(self):
+        query = QueryBuilder("q").select("t.a").from_tables("t", "t").build()
+        assert query.tables == ("t",)

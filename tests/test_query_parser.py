@@ -1,0 +1,99 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.query.ast import Comparison
+from repro.query.parser import parse_query
+from repro.util.errors import QueryError
+
+
+class TestBasicParsing:
+    def test_select_from(self):
+        query = parse_query("SELECT t.a, t.b FROM t")
+        assert query.tables == ("t",)
+        assert [str(c) for c in query.select_columns] == ["t.a", "t.b"]
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select t.a from t where t.a > 5 order by t.a desc")
+        assert query.filters[0].op is Comparison.GT
+        assert query.order_by[0].descending
+
+    def test_filter_operators(self):
+        query = parse_query(
+            "SELECT t.a FROM t WHERE t.a <= 3 AND t.b <> 4 AND t.c >= 1 AND t.d < 9 AND t.e = 2"
+        )
+        ops = [f.op for f in query.filters]
+        assert ops == [Comparison.LE, Comparison.NE, Comparison.GE, Comparison.LT, Comparison.EQ]
+
+    def test_between(self):
+        query = parse_query("SELECT t.a FROM t WHERE t.a BETWEEN 5 AND 10")
+        predicate = query.filters[0]
+        assert predicate.op is Comparison.BETWEEN
+        assert (predicate.value, predicate.value2) == (5, 10)
+
+    def test_between_mixed_with_conjunction(self):
+        query = parse_query(
+            "SELECT t.a FROM t, u WHERE t.a BETWEEN 5 AND 10 AND t.id = u.tid"
+        )
+        assert len(query.filters) == 1
+        assert len(query.joins) == 1
+
+    def test_join_predicate(self):
+        query = parse_query("SELECT a.x FROM a, b WHERE a.id = b.a_id")
+        assert len(query.joins) == 1
+        assert query.joins[0].tables == frozenset({"a", "b"})
+
+    def test_group_by_and_aggregates(self):
+        query = parse_query(
+            "SELECT t.region, sum(t.amount), count(*) FROM t GROUP BY t.region"
+        )
+        assert len(query.aggregates) == 2
+        assert query.group_by[0].column == "region"
+
+    def test_order_by_multiple(self):
+        query = parse_query("SELECT t.a, t.b FROM t ORDER BY t.a ASC, t.b DESC")
+        assert [item.descending for item in query.order_by] == [False, True]
+
+    def test_floats(self):
+        query = parse_query("SELECT t.a FROM t WHERE t.a < 3.5")
+        assert query.filters[0].value == pytest.approx(3.5)
+
+
+class TestRoundTrip:
+    def test_to_sql_reparses(self, join_query):
+        reparsed = parse_query(join_query.to_sql(), name=join_query.name)
+        assert set(reparsed.tables) == set(join_query.tables)
+        assert len(reparsed.joins) == len(join_query.joins)
+        assert len(reparsed.filters) == len(join_query.filters)
+        assert len(reparsed.group_by) == len(join_query.group_by)
+        assert len(reparsed.order_by) == len(join_query.order_by)
+
+
+class TestErrors:
+    def test_empty_text(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT t.a")
+
+    def test_unqualified_column_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a FROM t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT t.a FROM t LIMIT 5")
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a.x FROM a, b WHERE a.id < b.a_id")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT t.a FROM t WHERE t.a = 'text'")
+
+    def test_unbalanced_aggregate(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT sum(t.a FROM t")

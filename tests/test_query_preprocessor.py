@@ -1,0 +1,71 @@
+"""Tests for the query preprocessor."""
+
+import pytest
+
+from repro.query import QueryBuilder, QueryPreprocessor
+from repro.util.errors import QueryError
+
+
+class TestValidation:
+    def test_valid_query_passes(self, small_catalog, join_query):
+        prepared = QueryPreprocessor(small_catalog).preprocess(join_query)
+        assert set(prepared.tables) == set(join_query.tables)
+
+    def test_unknown_table_rejected(self, small_catalog):
+        query = QueryBuilder("q").select("ghost.a").from_tables("ghost").build()
+        with pytest.raises(QueryError):
+            QueryPreprocessor(small_catalog).preprocess(query)
+
+    def test_unknown_column_rejected(self, small_catalog):
+        query = QueryBuilder("q").select("sales.nonexistent").from_tables("sales").build()
+        with pytest.raises(QueryError):
+            QueryPreprocessor(small_catalog).preprocess(query)
+
+    def test_disconnected_join_graph_rejected(self, small_catalog):
+        query = (
+            QueryBuilder("q")
+            .select("sales.s_amount", "products.p_price")
+            .from_tables("sales", "products")
+            .build()
+        )
+        with pytest.raises(QueryError):
+            QueryPreprocessor(small_catalog).preprocess(query)
+
+    def test_single_table_never_disconnected(self, small_catalog, simple_query):
+        prepared = QueryPreprocessor(small_catalog).preprocess(simple_query)
+        assert prepared.tables == ("sales",)
+
+
+class TestNormalisation:
+    def test_tables_sorted(self, small_catalog, join_query):
+        prepared = QueryPreprocessor(small_catalog).preprocess(join_query)
+        assert list(prepared.tables) == sorted(prepared.tables)
+
+    def test_duplicate_filters_removed(self, small_catalog):
+        query = (
+            QueryBuilder("q")
+            .select("sales.s_amount")
+            .from_tables("sales")
+            .where("sales.s_quantity", "<", 10)
+            .where("sales.s_quantity", "<", 10)
+            .build()
+        )
+        prepared = QueryPreprocessor(small_catalog).preprocess(query)
+        assert len(prepared.filters) == 1
+
+    def test_duplicate_joins_removed(self, small_catalog):
+        query = (
+            QueryBuilder("q")
+            .select("sales.s_amount")
+            .join("sales.s_customer", "customers.c_id")
+            .join("customers.c_id", "sales.s_customer")
+            .build()
+        )
+        prepared = QueryPreprocessor(small_catalog).preprocess(query)
+        assert len(prepared.joins) == 1
+
+    def test_clauses_preserved(self, small_catalog, join_query):
+        prepared = QueryPreprocessor(small_catalog).preprocess(join_query)
+        assert prepared.group_by == join_query.group_by
+        assert prepared.order_by == join_query.order_by
+        assert prepared.aggregates == join_query.aggregates

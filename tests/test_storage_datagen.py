@@ -1,0 +1,90 @@
+"""Tests for synthetic data generation and the Database container."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, ForeignKey, Index, Table, TableStatistics
+from repro.storage.datagen import DataGenerator, Database
+from repro.util.errors import ExecutionError
+
+
+@pytest.fixture
+def fk_catalog():
+    catalog = Catalog("fk")
+    parent = Table("parent", [Column("id", ColumnType.BIGINT), Column("attr", ColumnType.INTEGER)],
+                   primary_key="id")
+    child = Table(
+        "child",
+        [Column("id", ColumnType.BIGINT), Column("pid", ColumnType.BIGINT),
+         Column("value", ColumnType.INTEGER)],
+        primary_key="id",
+        foreign_keys=[ForeignKey("pid", "parent", "id")],
+    )
+    catalog.add_table(parent, TableStatistics.uniform(parent, 1000))
+    catalog.add_table(child, TableStatistics.uniform(child, 10_000))
+    return catalog
+
+
+class TestDataGenerator:
+    def test_row_counts_follow_scale(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.1)
+        assert database.relation("parent").row_count == 100
+        assert database.relation("child").row_count == 1000
+
+    def test_row_counts_override(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(row_counts={"parent": 5, "child": 7})
+        assert database.relation("parent").row_count == 5
+        assert database.relation("child").row_count == 7
+
+    def test_foreign_keys_reference_existing_parents(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.05)
+        parent_ids = set(database.relation("parent").column_values("id"))
+        child_fks = set(database.relation("child").column_values("pid"))
+        assert child_fks <= parent_ids
+
+    def test_primary_keys_are_dense_and_unique(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.01)
+        ids = database.relation("parent").column_values("id")
+        assert sorted(ids) == list(range(1, len(ids) + 1))
+
+    def test_deterministic_across_runs(self, fk_catalog):
+        rows_a = DataGenerator(fk_catalog, seed=9).generate(scale=0.01).relation("child").rows()
+        rows_b = DataGenerator(fk_catalog, seed=9).generate(scale=0.01).relation("child").rows()
+        assert rows_a == rows_b
+
+    def test_different_seeds_differ(self, fk_catalog):
+        rows_a = DataGenerator(fk_catalog, seed=1).generate(scale=0.01).relation("child").rows()
+        rows_b = DataGenerator(fk_catalog, seed=2).generate(scale=0.01).relation("child").rows()
+        assert rows_a != rows_b
+
+    def test_attribute_values_span_full_scale_range(self, fk_catalog):
+        """Non-key values keep the catalog's range so predicates keep their selectivity."""
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.05)
+        values = database.relation("child").column_values("value")
+        full_scale_max = fk_catalog.statistics("child").column("value").max_value
+        assert max(values) > len(values)  # larger than the scaled-down row count
+        assert max(values) <= full_scale_max
+
+
+class TestDatabase:
+    def test_missing_relation_raises(self, fk_catalog):
+        database = Database(fk_catalog)
+        with pytest.raises(ExecutionError):
+            database.relation("parent")
+
+    def test_build_index_is_cached(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.01)
+        index = Index("child", ["pid"])
+        first = database.build_index(index)
+        second = database.build_index(index)
+        assert first is second
+        database.drop_indexes()
+        assert database.build_index(index) is not first
+
+    def test_analyze_updates_catalog_statistics(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.01)
+        database.analyze()
+        assert fk_catalog.statistics("child").row_count == database.relation("child").row_count
+
+    def test_table_names(self, fk_catalog):
+        database = DataGenerator(fk_catalog, seed=1).generate(scale=0.01)
+        assert set(database.table_names()) == {"parent", "child"}

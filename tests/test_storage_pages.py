@@ -1,0 +1,100 @@
+"""Tests for the page/tuple layout arithmetic."""
+
+import pytest
+
+from repro.storage import pages
+
+
+class TestAlignTo:
+    def test_already_aligned(self):
+        assert pages.align_to(8, 8) == 8
+
+    def test_rounds_up(self):
+        assert pages.align_to(9, 8) == 16
+        assert pages.align_to(1, 4) == 4
+
+    def test_zero_width(self):
+        assert pages.align_to(0, 8) == 0
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            pages.align_to(8, 0)
+
+    def test_negative_width(self):
+        with pytest.raises(ValueError):
+            pages.align_to(-1, 8)
+
+
+class TestTupleWidths:
+    def test_heap_tuple_includes_header(self):
+        width = pages.heap_tuple_width([(4, 4), (8, 8)])
+        assert width >= pages.HEAP_TUPLE_HEADER_BYTES + 12
+
+    def test_alignment_padding_counted(self):
+        # A 4-byte int followed by an 8-byte value forces 4 bytes of padding.
+        padded = pages.heap_tuple_width([(4, 4), (8, 8)])
+        packed = pages.heap_tuple_width([(8, 8), (4, 4)])
+        assert padded >= packed
+
+    def test_index_tuple_smaller_header_than_heap(self):
+        columns = [(8, 8)]
+        assert pages.index_tuple_width(columns) < pages.heap_tuple_width(columns)
+
+
+class TestHeapPages:
+    def test_empty_table_occupies_one_page(self):
+        assert pages.heap_pages(0, 100) == 1
+
+    def test_single_row(self):
+        assert pages.heap_pages(1, 100) == 1
+
+    def test_scales_linearly(self):
+        small = pages.heap_pages(10_000, 100)
+        large = pages.heap_pages(20_000, 100)
+        assert 1.9 < large / small < 2.1
+
+    def test_wider_rows_need_more_pages(self):
+        assert pages.heap_pages(10_000, 200) > pages.heap_pages(10_000, 100)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            pages.heap_pages(-1, 100)
+
+    def test_tuples_per_page_positive(self):
+        assert pages.tuples_per_heap_page(100) >= 1
+        # Even a huge tuple fits "once" per page under this simplified model.
+        assert pages.tuples_per_heap_page(100_000) == 1
+
+    def test_tuples_per_page_invalid_width(self):
+        with pytest.raises(ValueError):
+            pages.tuples_per_heap_page(0)
+
+
+class TestBtreePages:
+    def test_leaf_pages_scale_with_rows(self):
+        small = pages.btree_leaf_pages(100_000, 20)
+        large = pages.btree_leaf_pages(1_000_000, 20)
+        assert 9 < large / small < 11
+
+    def test_leaf_pages_at_least_one(self):
+        assert pages.btree_leaf_pages(0, 20) == 1
+        assert pages.btree_leaf_pages(1, 20) == 1
+
+    def test_internal_pages_zero_for_single_leaf(self):
+        assert pages.btree_internal_pages(1, 8) == 0
+        assert pages.btree_internal_pages(0, 8) == 0
+
+    def test_internal_pages_small_fraction_of_leaves(self):
+        leaves = pages.btree_leaf_pages(10_000_000, 16)
+        internal = pages.btree_internal_pages(leaves, 8)
+        assert internal > 0
+        # The paper ignores internal pages because they are a tiny fraction.
+        assert internal < leaves * 0.05
+
+    def test_internal_pages_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages.btree_internal_pages(-1, 8)
+
+    def test_leaf_pages_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            pages.btree_leaf_pages(-5, 8)

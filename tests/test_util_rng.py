@@ -1,0 +1,66 @@
+"""Tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.util.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(1)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_different_sequence(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_derive_is_stable(self):
+        a = DeterministicRNG(42).derive("queries")
+        b = DeterministicRNG(42).derive("queries")
+        assert a.seed == b.seed
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_derive_independent_of_parent_consumption(self):
+        parent_a = DeterministicRNG(42)
+        parent_b = DeterministicRNG(42)
+        parent_b.randint(0, 100)  # consume some randomness
+        assert parent_a.derive("x").seed == parent_b.derive("x").seed
+
+    def test_derive_different_labels_differ(self):
+        parent = DeterministicRNG(42)
+        assert parent.derive("a").seed != parent.derive("b").seed
+
+
+class TestSampling:
+    def test_choice_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).choice([])
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRNG(1)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+
+    def test_sample_clamps_k(self):
+        rng = DeterministicRNG(1)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG(1)
+        picked = rng.sample(list(range(100)), 20)
+        assert len(set(picked)) == 20
+
+    def test_shuffle_does_not_mutate_input(self):
+        rng = DeterministicRNG(1)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffle(original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_uniform_within_bounds(self):
+        rng = DeterministicRNG(1)
+        for _ in range(100):
+            value = rng.uniform(5.0, 6.0)
+            assert 5.0 <= value <= 6.0

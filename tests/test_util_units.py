@@ -1,0 +1,45 @@
+"""Tests for byte-size helpers."""
+
+import pytest
+
+from repro.util.units import GIB, KIB, MIB, format_bytes, gigabytes, kilobytes, megabytes
+
+
+class TestConversions:
+    def test_kilobytes(self):
+        assert kilobytes(1) == 1024
+        assert kilobytes(2.5) == 2560
+
+    def test_megabytes(self):
+        assert megabytes(1) == MIB
+        assert megabytes(0.5) == MIB // 2
+
+    def test_gigabytes(self):
+        assert gigabytes(1) == GIB
+        assert gigabytes(10) == 10 * GIB
+
+    def test_constants_are_powers_of_1024(self):
+        assert MIB == KIB * 1024
+        assert GIB == MIB * 1024
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(0) == "0 B"
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert format_bytes(5 * MIB) == "5.0 MiB"
+
+    def test_gib(self):
+        assert format_bytes(5 * GIB) == "5.0 GiB"
+
+    def test_fractional_gib(self):
+        assert format_bytes(int(1.5 * GIB)) == "1.5 GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

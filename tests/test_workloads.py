@@ -1,0 +1,110 @@
+"""Tests for the star-schema and TPC-H-like workload generators."""
+
+import pytest
+
+from repro.optimizer import Optimizer
+from repro.optimizer.interesting_orders import combination_count
+from repro.query.preprocessor import QueryPreprocessor
+from repro.util.units import GIB
+from repro.workloads import StarSchemaWorkload
+from repro.workloads.star_schema import TOTAL_DIMS
+from repro.workloads.tpch_like import (
+    build_tpch_like_catalog,
+    tpch_q5_like_query,
+    tpch_small_join_query,
+)
+
+
+class TestStarSchema:
+    def test_paper_shape(self, star_workload):
+        """One fact table plus 28 dimension tables, roughly 10 GB."""
+        catalog = star_workload.catalog()
+        assert len(catalog.tables()) == TOTAL_DIMS + 1
+        assert catalog.has_table("fact")
+        size = catalog.database_size_bytes()
+        assert 7 * GIB < size < 13 * GIB
+
+    def test_schema_is_valid_snowflake(self, star_workload):
+        catalog = star_workload.catalog()
+        catalog.validate()
+        # Every dimension is reachable from the fact table via FK edges.
+        fact = catalog.table("fact")
+        assert len(fact.foreign_keys) == 8
+
+    def test_ten_queries(self, star_workload):
+        queries = star_workload.queries()
+        assert len(queries) == 10
+        assert [q.name for q in queries] == [f"Q{i}" for i in range(1, 11)]
+
+    def test_queries_valid_against_catalog(self, star_workload):
+        preprocessor = QueryPreprocessor(star_workload.catalog())
+        for query in star_workload.queries():
+            prepared = preprocessor.preprocess(query)
+            assert prepared.table_count >= 2
+
+    def test_queries_have_paper_features(self, star_workload):
+        """Joins over FKs, random selects, 1%-selectivity filters, order-by."""
+        for query in star_workload.queries():
+            assert query.joins
+            assert query.select_columns
+            assert query.order_by
+        assert any(query.filters for query in star_workload.queries())
+
+    def test_queries_join_2_to_6_tables(self, star_workload):
+        counts = {q.table_count for q in star_workload.queries()}
+        assert min(counts) == 2
+        assert max(counts) == 6
+
+    def test_combination_counts_in_paper_range(self, star_workload):
+        total = sum(combination_count(q) for q in star_workload.queries())
+        assert 100 <= total <= 2000
+
+    def test_deterministic_across_instances(self):
+        a = StarSchemaWorkload(seed=7)
+        b = StarSchemaWorkload(seed=7)
+        assert [q.to_sql() for q in a.queries()] == [q.to_sql() for q in b.queries()]
+
+    def test_different_seed_changes_queries(self):
+        a = StarSchemaWorkload(seed=7)
+        b = StarSchemaWorkload(seed=8)
+        assert [q.to_sql() for q in a.queries()] != [q.to_sql() for q in b.queries()]
+
+    def test_queries_optimizable(self, star_workload):
+        optimizer = Optimizer(star_workload.catalog())
+        for query in star_workload.queries()[:3]:
+            assert optimizer.optimize(query).cost > 0
+
+    def test_scaled_database_materializes_all_tables(self, star_workload):
+        database = star_workload.database(scale=0.00005)
+        assert len(database.table_names()) == TOTAL_DIMS + 1
+        assert database.relation("fact").row_count > 0
+
+    def test_describe(self, star_workload):
+        info = star_workload.describe()
+        assert info["tables"] == TOTAL_DIMS + 1
+        assert info["queries"] == 10
+
+
+class TestTpchLike:
+    def test_catalog_tables_and_cardinalities(self, tpch_catalog):
+        assert {t.name for t in tpch_catalog.tables()} == {
+            "region", "nation", "supplier", "customer", "orders", "lineitem"
+        }
+        assert tpch_catalog.statistics("lineitem").row_count > tpch_catalog.statistics(
+            "orders"
+        ).row_count
+
+    def test_scale_factor(self):
+        small = build_tpch_like_catalog(scale_factor=0.01)
+        assert small.statistics("lineitem").row_count == 60_000
+
+    def test_q5_like_has_648_combinations(self):
+        assert combination_count(tpch_q5_like_query()) == 648
+
+    def test_q5_like_optimizable(self, tpch_catalog):
+        result = Optimizer(tpch_catalog).optimize(tpch_q5_like_query())
+        assert result.plan.tables == frozenset(tpch_q5_like_query().tables)
+
+    def test_small_join_query_valid(self, tpch_catalog):
+        prepared = QueryPreprocessor(tpch_catalog).preprocess(tpch_small_join_query())
+        assert prepared.table_count == 3
