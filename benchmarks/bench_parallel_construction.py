@@ -1,0 +1,136 @@
+"""E-WS -- workload-scale cache construction: pool, memoization, persistence.
+
+The workload builder scales classic INUM cache construction along three
+axes, and this benchmark measures each against the serial baseline on the
+star-schema workload:
+
+1. **parallelism** -- per-query builds fanned across a process pool
+   (``REPRO_BENCH_JOBS`` workers, default 4).  The attainable speedup is
+   bounded both by the pool width and by the longest single query (~35 % of
+   the serial total), so on a >=3-core host the expected wall-clock win is
+   >=2x; on smaller hosts the benchmark still verifies the pool produces
+   identical caches without pathological overhead,
+2. **memoization** -- the shared what-if call cache answers repeated probe
+   configurations from memory, so a full workload build reports a non-zero
+   hit rate, and
+3. **persistence** -- a second build against an unchanged catalog loads
+   every cache from the on-disk store and spends zero optimizer calls.
+
+Run with:  pytest benchmarks/bench_parallel_construction.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from conftest import bench_job_count
+
+from repro.bench.harness import ExperimentTable
+from repro.inum import CacheStore, WorkloadBuilderOptions, WorkloadCacheBuilder
+from repro.workloads import builtin_catalog_factory
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _run_construction(star_catalog, star_queries, candidates, jobs):
+    factory = functools.partial(builtin_catalog_factory, "star", 7)
+
+    # Both arms run with the memoizing what-if layer on, so the measured
+    # speedup isolates the process pool (memoization's own contribution is
+    # measured separately by test_memoization_and_store_speedup).
+    serial = WorkloadCacheBuilder(
+        star_catalog,
+        WorkloadBuilderOptions(builder="inum", jobs=1),
+    ).build(star_queries, candidates)
+
+    parallel = WorkloadCacheBuilder(
+        star_catalog,
+        WorkloadBuilderOptions(builder="inum", jobs=jobs),
+        catalog_factory=factory,
+    ).build(star_queries, candidates)
+
+    return serial, parallel
+
+
+def test_parallel_workload_construction(benchmark, star_catalog, star_queries,
+                                        candidate_generator):
+    """A --jobs N workload build beats the serial baseline wall-clock."""
+    jobs = bench_job_count()
+    candidates = candidate_generator.for_workload(star_queries)
+    serial, parallel = benchmark.pedantic(
+        _run_construction,
+        args=(star_catalog, star_queries, candidates, jobs),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedup = serial.report.wall_seconds / max(parallel.report.wall_seconds, 1e-9)
+    cpus = usable_cpu_count()
+    table = ExperimentTable(
+        f"E-WS: workload cache construction, serial vs jobs={jobs} ({cpus} usable CPUs)",
+        ["arm", "wall (s)", "optimizer calls", "what-if hits", "speedup"],
+    )
+    table.add_row("serial (1 job)", serial.report.wall_seconds,
+                  serial.report.optimizer_calls, serial.report.whatif_cache_hits, "1.0x")
+    table.add_row(f"pool ({jobs} jobs)", parallel.report.wall_seconds,
+                  parallel.report.optimizer_calls, parallel.report.whatif_cache_hits,
+                  f"{speedup:.2f}x")
+    table.print()
+
+    # Whatever the hardware, the pool must produce the same caches.
+    for query in star_queries:
+        assert parallel.caches[query.name].entry_count == serial.caches[query.name].entry_count
+    assert parallel.report.queries_built == len(star_queries)
+
+    # The speedup the pool can deliver is capped by the usable cores (and by
+    # the widest query, which is ~35% of the serial total on this workload).
+    if cpus >= 3:
+        assert speedup >= 2.0
+    elif cpus == 2:
+        assert speedup >= 1.3
+    else:
+        # Single-CPU host: no parallel win is possible; require that pool
+        # overhead stays bounded instead.
+        assert speedup > 0.5
+
+
+def test_memoization_and_store_speedup(benchmark, tmp_path, star_catalog, star_queries,
+                                       candidate_generator):
+    """The what-if layer hits during a cold build; the store removes rebuilds."""
+    candidates = candidate_generator.for_workload(star_queries)
+    store = CacheStore(tmp_path / "inum-cache", star_catalog)
+    builder = WorkloadCacheBuilder(
+        star_catalog, WorkloadBuilderOptions(builder="inum"), store=store
+    )
+
+    def _cold_then_warm():
+        return builder.build(star_queries, candidates), builder.build(star_queries, candidates)
+
+    cold, warm = benchmark.pedantic(_cold_then_warm, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "E-WS: memoized cold build vs persistent warm build",
+        ["arm", "wall (s)", "optimizer calls", "what-if hit rate", "from store"],
+    )
+    table.add_row("cold", cold.report.wall_seconds, cold.report.optimizer_calls,
+                  f"{cold.report.whatif_hit_rate * 100.0:.1f}%", cold.report.queries_from_store)
+    table.add_row("warm", warm.report.wall_seconds, warm.report.optimizer_calls,
+                  f"{warm.report.whatif_hit_rate * 100.0:.1f}%", warm.report.queries_from_store)
+    table.print()
+
+    # The memoizing what-if layer must see repeated probes in a full build.
+    assert cold.report.whatif_cache_hits > 0
+    assert cold.report.whatif_hit_rate > 0.0
+    # The warm build must be pure deserialization.
+    assert warm.report.queries_from_store == len(star_queries)
+    assert warm.report.optimizer_calls == 0
+    assert warm.report.wall_seconds * 10 < cold.report.wall_seconds
+    for query in star_queries:
+        assert warm.caches[query.name].entry_count == cold.caches[query.name].entry_count

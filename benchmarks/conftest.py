@@ -11,6 +11,8 @@ Environment knobs (all optional):
   cost-accuracy experiment (default 60; the paper used 1000).
 * ``REPRO_BENCH_QUERIES``  -- how many of the ten workload queries the
   heavier benchmarks use (default: all ten).
+* ``REPRO_BENCH_JOBS``     -- process-pool width for the parallel
+  construction benchmark (default 4).
 """
 
 from __future__ import annotations
@@ -33,6 +35,11 @@ def bench_config_count() -> int:
 def bench_query_count() -> int:
     """Number of workload queries heavier benchmarks should cover."""
     return int(os.environ.get("REPRO_BENCH_QUERIES", "10"))
+
+
+def bench_job_count() -> int:
+    """Process-pool width the parallel construction benchmark fans out to."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "4"))
 
 
 @pytest.fixture(scope="session")

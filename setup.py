@@ -1,10 +1,10 @@
 """Setuptools shim.
 
-The primary metadata lives in ``pyproject.toml``; this file exists so the
-package can be installed in editable mode on environments without the
-``wheel`` package (offline CI containers), via::
-
-    pip install -e . --no-build-isolation --no-use-pep517
+The primary metadata lives in ``pyproject.toml``; this file exists so legacy
+tooling can still drive the build.  A plain ``pip install -e ".[dev]"`` is
+the supported path (CI uses it); on offline machines add
+``--no-build-isolation``, which additionally requires the ``setuptools`` and
+``wheel`` packages to be present in the environment.
 """
 
 from setuptools import setup

@@ -22,8 +22,16 @@ The package is organised as a layered system:
 
 from repro.catalog import Catalog, Column, ColumnType, Index, Table, TableStatistics
 from repro.query import Query, QueryBuilder
-from repro.optimizer import Optimizer, OptimizerOptions
-from repro.inum import AtomicConfiguration, InumCache, InumCacheBuilder, InumCostModel
+from repro.optimizer import Optimizer, OptimizerOptions, WhatIfCallCache
+from repro.inum import (
+    AtomicConfiguration,
+    CacheStore,
+    InumCache,
+    InumCacheBuilder,
+    InumCostModel,
+    WorkloadBuilderOptions,
+    WorkloadCacheBuilder,
+)
 from repro.pinum import PinumCacheBuilder, PinumCostModel
 from repro.advisor import IndexAdvisor, AdvisorOptions
 from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog
@@ -33,6 +41,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AdvisorOptions",
     "AtomicConfiguration",
+    "CacheStore",
     "Catalog",
     "Column",
     "ColumnType",
@@ -50,6 +59,9 @@ __all__ = [
     "StarSchemaWorkload",
     "Table",
     "TableStatistics",
+    "WhatIfCallCache",
+    "WorkloadBuilderOptions",
+    "WorkloadCacheBuilder",
     "build_tpch_like_catalog",
     "__version__",
 ]

@@ -8,8 +8,8 @@ before/after, optimizer calls spent, cache-construction time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.advisor.benefit import (
     CacheBackedWorkloadCostModel,
@@ -20,6 +20,7 @@ from repro.advisor.candidates import CandidateGenerator
 from repro.advisor.greedy import GreedySelector, SelectionStep
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.inum.serialization import CacheStore
 from repro.optimizer.optimizer import Optimizer
 from repro.query.ast import Query
 from repro.util.errors import AdvisorError
@@ -35,12 +36,20 @@ class AdvisorOptions:
     benefit oracle: ``"pinum"`` (default), ``"inum"`` or ``"optimizer"``.
     ``max_candidates`` optionally truncates the candidate set (keeping the
     generation order) to bound experiment running times.
+
+    ``jobs`` fans the cache-backed oracles' per-query cache builds across a
+    process pool (needs a picklable ``catalog_factory`` handed to the
+    :class:`IndexAdvisor`).  ``cache_dir`` points at a persistent
+    :class:`~repro.inum.serialization.CacheStore` directory so caches are
+    reused across advisor runs and invalidated when the catalog changes.
     """
 
     space_budget_bytes: int = gigabytes(5)
     cost_model: str = "pinum"
     max_candidates: Optional[int] = None
     min_relative_benefit: float = 1e-4
+    jobs: int = 1
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -88,10 +97,12 @@ class IndexAdvisor:
         catalog: Catalog,
         optimizer: Optimizer,
         options: Optional[AdvisorOptions] = None,
+        catalog_factory: Optional[Callable[[], Catalog]] = None,
     ) -> None:
         self._catalog = catalog
         self._optimizer = optimizer
         self._options = options or AdvisorOptions()
+        self._catalog_factory = catalog_factory
         if self._options.cost_model not in ("pinum", "inum", "optimizer"):
             raise AdvisorError(
                 f"unknown cost model {self._options.cost_model!r} "
@@ -147,6 +158,15 @@ class IndexAdvisor:
     ) -> WorkloadCostModel:
         if self._options.cost_model == "optimizer":
             return OptimizerWorkloadCostModel(self._optimizer, workload)
+        store = None
+        if self._options.cache_dir is not None:
+            store = CacheStore(self._options.cache_dir, self._catalog)
         return CacheBackedWorkloadCostModel(
-            self._optimizer, workload, candidates, mode=self._options.cost_model
+            self._optimizer,
+            workload,
+            candidates,
+            mode=self._options.cost_model,
+            jobs=self._options.jobs,
+            store=store,
+            catalog_factory=self._catalog_factory,
         )

@@ -13,17 +13,19 @@ cost if this index set exists?*  Three interchangeable answers are provided:
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
-from repro.inum.cache_builder import InumCacheBuilder
 from repro.inum.cost_estimation import InumCostModel
+from repro.inum.serialization import CacheStore
+from repro.inum.workload_builder import WorkloadBuilderOptions, WorkloadCacheBuilder
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfOptimizer
-from repro.pinum.cache_builder import PinumCacheBuilder
 from repro.pinum.cost_model import PinumCostModel
 from repro.query.ast import Query
 from repro.util.errors import AdvisorError
+from repro.util.fingerprint import configuration_signature, query_fingerprint
 
 
 class WorkloadCostModel(abc.ABC):
@@ -58,15 +60,37 @@ class WorkloadCostModel(abc.ABC):
 
 
 class OptimizerWorkloadCostModel(WorkloadCostModel):
-    """Benefit oracle that calls the optimizer for every evaluation."""
+    """Benefit oracle that calls the optimizer for every evaluation.
 
-    def __init__(self, optimizer: Optimizer, queries: Sequence[Query]) -> None:
+    The greedy search asks the same (query, configuration) questions over
+    and over -- every iteration re-evaluates every remaining candidate, and
+    adding an index on one table leaves the relevant configuration of every
+    other query unchanged -- so repeated questions are memoized by default.
+    Only the scalar cost is retained (not whole plan trees, which a long
+    greedy run over a large candidate set would accumulate without bound).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        queries: Sequence[Query],
+        memoize: bool = True,
+    ) -> None:
         super().__init__(queries)
         self._whatif = WhatIfOptimizer(optimizer)
+        self._memoize = memoize
+        self._cost_memo: Dict[tuple, float] = {}
 
     def query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         relevant = [index for index in indexes if index.table in query.tables]
-        return self._whatif.cost_with_configuration(query, relevant, exclusive=True)
+        if not self._memoize:
+            return self._whatif.cost_with_configuration(query, relevant, exclusive=True)
+        key = (query_fingerprint(query), configuration_signature(relevant))
+        cost = self._cost_memo.get(key)
+        if cost is None:
+            cost = self._whatif.cost_with_configuration(query, relevant, exclusive=True)
+            self._cost_memo[key] = cost
+        return cost
 
 
 class CacheBackedWorkloadCostModel(WorkloadCostModel):
@@ -74,8 +98,11 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
 
     ``mode`` selects the cache builder: ``"pinum"`` (default, the paper's
     configuration) or ``"inum"`` (the baseline).  The caches are built once
-    for the given candidate set; every subsequent evaluation is pure
-    arithmetic.
+    for the given candidate set -- by a
+    :class:`~repro.inum.workload_builder.WorkloadCacheBuilder`, so workload-
+    scale machinery applies: ``jobs`` fans the builds across a process pool,
+    ``store`` reuses caches persisted by earlier runs, and identical-SQL
+    queries are built once.  Every subsequent evaluation is pure arithmetic.
     """
 
     def __init__(
@@ -84,25 +111,27 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         queries: Sequence[Query],
         candidate_indexes: Sequence[Index],
         mode: str = "pinum",
+        jobs: int = 1,
+        store: Optional[CacheStore] = None,
+        catalog_factory: Optional[Callable[[], Catalog]] = None,
     ) -> None:
         super().__init__(queries)
         if mode not in ("pinum", "inum"):
             raise AdvisorError(f"unknown cache mode {mode!r} (expected 'pinum' or 'inum')")
         self.mode = mode
+        builder = WorkloadCacheBuilder(
+            options=WorkloadBuilderOptions(builder=mode, jobs=jobs),
+            catalog_factory=catalog_factory,
+            store=store,
+            optimizer=optimizer,
+        )
+        outcome = builder.build(self.queries, list(candidate_indexes))
+        self.build_report = outcome.report
         self._models: Dict[str, InumCostModel] = {}
-        self._calls = 0
-        self._seconds = 0.0
-        for query in self.queries:
-            relevant = [index for index in candidate_indexes if index.table in query.tables]
-            if mode == "pinum":
-                cache = PinumCacheBuilder(optimizer).build_cache(query, relevant)
-                model: InumCostModel = PinumCostModel(cache)
-            else:
-                cache = InumCacheBuilder(optimizer).build_cache(query, relevant)
-                model = InumCostModel(cache)
-            self._models[query.name] = model
-            self._calls += cache.build_stats.optimizer_calls_total
-            self._seconds += cache.build_stats.seconds_total
+        for name, cache in outcome.caches.items():
+            self._models[name] = PinumCostModel(cache) if mode == "pinum" else InumCostModel(cache)
+        self._calls = outcome.report.optimizer_calls
+        self._seconds = outcome.report.wall_seconds
 
     def query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         model = self._models.get(query.name)

@@ -10,7 +10,7 @@ constraint."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.catalog.catalog import Catalog

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -99,12 +100,29 @@ def relative_error(estimated: float, actual: float) -> float:
     return abs(estimated - actual) / abs(actual)
 
 
-def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (0 if the input is empty)."""
-    values = [v for v in values if v > 0]
-    if not values:
+def geometric_mean(values: Iterable[float], strict: bool = False) -> float:
+    """Geometric mean of positive values (0 if the input is empty).
+
+    Non-positive inputs have no geometric mean; silently dropping them would
+    skew accuracy aggregates without anyone noticing, so dropping is loud:
+    with ``strict=True`` a :class:`ValueError` is raised, otherwise a
+    :class:`RuntimeWarning` is emitted and the mean of the remaining
+    positive values is returned.
+    """
+    values = list(values)
+    positive = [v for v in values if v > 0]
+    dropped = len(values) - len(positive)
+    if dropped:
+        message = (
+            f"geometric_mean: ignoring {dropped} non-positive value(s) "
+            f"out of {len(values)}; the result covers only the positive inputs"
+        )
+        if strict:
+            raise ValueError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
+    if not positive:
         return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
 
 
 def speedup_table(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:

@@ -3,10 +3,15 @@
 The CLI exposes the library's main workflows over the built-in workload
 catalogs, so experiments can be driven without writing Python:
 
-* ``explain``    -- optimize a SQL query and print the plan,
-* ``recommend``  -- run the greedy index advisor over a workload,
-* ``cache``      -- build the INUM/PINUM plan cache for a query and report
-  its statistics (optionally saving it to JSON).
+* ``explain``        -- optimize a SQL query and print the plan,
+* ``recommend``      -- run the greedy index advisor over a workload,
+* ``cache``          -- build the INUM/PINUM plan cache for a query and
+  report its statistics (optionally saving it to JSON),
+* ``cache-workload`` -- build the plan caches of a whole workload at once
+  through the :class:`~repro.inum.workload_builder.WorkloadCacheBuilder`:
+  ``--jobs N`` fans the per-query builds across a process pool, the
+  memoizing what-if layer deduplicates identical optimizer probes, and
+  ``--cache-dir`` persists the caches for later runs.
 
 Examples::
 
@@ -16,26 +21,45 @@ Examples::
 
     python -m repro recommend --catalog star --budget-gb 5 --max-candidates 120
     python -m repro cache --catalog star --query-number 4 --builder pinum
+    python -m repro cache-workload --catalog star --jobs 4 --cache-dir .inum-cache
+
+The ``--cache-dir`` directory is a versioned
+:class:`~repro.inum.serialization.CacheStore`::
+
+    .inum-cache/
+      <catalog fingerprint>/             one directory per catalog state
+        <query fingerprint>.<builder>.json
+
+Cache files are keyed by *fingerprints* of the catalog (schema, statistics,
+permanent indexes) and of the query's canonical SQL, and each file records a
+digest of the candidate-index set its access costs were collected for.
+Changing the schema, refreshing statistics or changing the candidate set
+makes the affected caches stale, so they are rebuilt instead of reused; a
+second run of the *same* command against an unchanged catalog loads every
+cache and spends zero optimizer calls.  ``recommend`` accepts the same
+``--jobs``/``--cache-dir`` flags for its cache-backed cost models; to share
+one store between ``cache-workload`` and ``recommend``, give both the same
+``--max-candidates`` so they fingerprint the same candidate set.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List, Optional, Sequence
 
 from repro.advisor import AdvisorOptions, CandidateGenerator, IndexAdvisor
 from repro.bench.harness import ExperimentTable
-from repro.catalog import Catalog
 from repro.inum import InumCacheBuilder
-from repro.inum.serialization import save_cache
+from repro.inum.serialization import CacheStore, save_cache
+from repro.inum.workload_builder import WorkloadBuilderOptions, WorkloadCacheBuilder
 from repro.optimizer import Optimizer
 from repro.pinum import PinumCacheBuilder
 from repro.query import Query, parse_query
 from repro.util.errors import ReproError
 from repro.util.units import format_bytes, gigabytes
-from repro.workloads import StarSchemaWorkload
-from repro.workloads.tpch_like import build_tpch_like_catalog
+from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog, builtin_catalog_factory
 
 
 def _load_catalog(name: str, seed: int) -> tuple:
@@ -93,7 +117,10 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             space_budget_bytes=gigabytes(args.budget_gb),
             cost_model=args.cost_model,
             max_candidates=args.max_candidates,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         ),
+        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
     )
     result = advisor.recommend(queries)
     print(f"workload          : {len(queries)} queries over catalog {args.catalog!r}")
@@ -145,6 +172,65 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_workload(args: argparse.Namespace) -> int:
+    catalog, builtin = _load_catalog(args.catalog, args.seed)
+    queries = _read_queries(args, builtin)
+    generator = CandidateGenerator(catalog)
+    candidates = generator.for_workload(queries)
+    if args.max_candidates is not None:
+        candidates = candidates[: args.max_candidates]
+
+    store = CacheStore(args.cache_dir, catalog) if args.cache_dir else None
+    builder = WorkloadCacheBuilder(
+        catalog,
+        WorkloadBuilderOptions(
+            builder=args.builder,
+            jobs=args.jobs,
+            use_call_cache=not args.no_call_cache,
+        ),
+        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
+        store=store,
+    )
+    result = builder.build(queries, candidates)
+    report = result.report
+
+    table = ExperimentTable(
+        f"Workload cache construction ({args.builder}, jobs={args.jobs})",
+        ["query", "source", "optimizer calls", "what-if hits",
+         "cached plans", "access costs", "build (ms)"],
+    )
+    for query in queries:
+        outcome = report.outcome_for(query.name)
+        cache = result.caches[query.name]
+        source = outcome.source
+        if outcome.deduped_from is not None:
+            source = f"deduplicated ({outcome.deduped_from})"
+        calls = outcome.stats.optimizer_calls_total if outcome.source == "built" else 0
+        hits = outcome.stats.whatif_cache_hits if outcome.source == "built" else 0
+        table.add_row(
+            query.name, source, calls, hits,
+            cache.entry_count, len(cache.access_costs),
+            outcome.stats.seconds_total * 1000 if outcome.source == "built" else 0.0,
+        )
+    table.print()
+
+    print(f"workload        : {report.queries_total} queries "
+          f"({report.queries_built} built, {report.queries_from_store} from store, "
+          f"{report.queries_deduplicated} deduplicated)")
+    print(f"optimizer calls : {report.optimizer_calls}")
+    print(f"what-if cache   : {report.whatif_cache_hits} hits "
+          f"({report.whatif_hit_rate * 100.0:.1f}% of probes)")
+    print(f"wall clock      : {report.wall_seconds:.2f}s "
+          f"(per-query build time {report.build_seconds:.2f}s)")
+    if store is not None:
+        line = (f"cache store     : {store.catalog_dir} "
+                f"({store.stored_count()} caches, {store.statistics.saves} saved this run")
+        if store.statistics.stale_rejections:
+            line += f", {store.statistics.stale_rejections} stale rejected"
+        print(line + ")")
+    return 0
+
+
 # -- argument parsing ----------------------------------------------------------------
 
 
@@ -179,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
                            default="pinum", help="benefit oracle for the greedy search")
     recommend.add_argument("--max-candidates", type=int, default=120,
                            help="cap on the candidate-index set")
+    recommend.add_argument("--jobs", type=int, default=1,
+                           help="process-pool width for the per-query cache builds")
+    recommend.add_argument("--cache-dir",
+                           help="persistent cache-store directory reused across runs")
     recommend.set_defaults(handler=_cmd_recommend)
 
     cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")
@@ -187,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="which builder fills the cache")
     cache.add_argument("--save", help="path prefix for saving the cache(s) as JSON")
     cache.set_defaults(handler=_cmd_cache)
+
+    workload = subparsers.add_parser(
+        "cache-workload",
+        help="build every workload query's plan cache (parallel, memoized, persistent)",
+    )
+    add_common(workload)
+    workload.add_argument("--builder", choices=["pinum", "inum"], default="pinum",
+                          help="which per-query builder fills the caches")
+    workload.add_argument("--max-candidates", type=int,
+                          help="cap on the candidate-index set (match recommend's "
+                               "--max-candidates to share its cache store)")
+    workload.add_argument("--jobs", type=int, default=1,
+                          help="process-pool width (1 = serial with a shared what-if cache)")
+    workload.add_argument("--cache-dir",
+                          help="persistent cache-store directory reused across runs")
+    workload.add_argument("--no-call-cache", action="store_true",
+                          help="disable the memoizing what-if layer (baseline behaviour)")
+    workload.set_defaults(handler=_cmd_cache_workload)
     return parser
 
 

@@ -18,7 +18,19 @@ from repro.inum.cache import CacheBuildStatistics, CacheEntry, CachedSlot, InumC
 from repro.inum.cache_builder import InumCacheBuilder, InumBuilderOptions
 from repro.inum.combinations import covering_configuration, covering_indexes_for
 from repro.inum.cost_estimation import CostEstimate, InumCostModel
-from repro.inum.serialization import cache_from_dict, cache_to_dict, load_cache, save_cache
+from repro.inum.serialization import (
+    CacheStore,
+    cache_from_dict,
+    cache_to_dict,
+    load_cache,
+    save_cache,
+)
+from repro.inum.workload_builder import (
+    WorkloadBuilderOptions,
+    WorkloadBuildReport,
+    WorkloadBuildResult,
+    WorkloadCacheBuilder,
+)
 
 __all__ = [
     "cache_from_dict",
@@ -30,12 +42,17 @@ __all__ = [
     "AtomicConfiguration",
     "CacheBuildStatistics",
     "CacheEntry",
+    "CacheStore",
     "CachedSlot",
     "CostEstimate",
     "InumBuilderOptions",
     "InumCache",
     "InumCacheBuilder",
     "InumCostModel",
+    "WorkloadBuildReport",
+    "WorkloadBuildResult",
+    "WorkloadBuilderOptions",
+    "WorkloadCacheBuilder",
     "covering_configuration",
     "covering_indexes_for",
     "enumerate_atomic_configurations",

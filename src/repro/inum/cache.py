@@ -16,7 +16,7 @@ many optimizer calls it takes to fill it, which is what
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.inum.access_costs import AccessCostTable
@@ -98,7 +98,14 @@ class CacheEntry:
 
 @dataclass
 class CacheBuildStatistics:
-    """How expensive it was to build one query's cache."""
+    """How expensive it was to build one query's cache.
+
+    ``optimizer_calls_*`` count *actual* optimizer invocations.  When the
+    builder routes its probes through a memoizing
+    :class:`~repro.optimizer.whatif.WhatIfCallCache`, probes answered from
+    memory are counted in ``whatif_cache_hits`` instead (and
+    ``whatif_cache_misses`` mirrors the actual calls made through the cache).
+    """
 
     optimizer_calls_plans: int = 0
     optimizer_calls_access_costs: int = 0
@@ -107,6 +114,8 @@ class CacheBuildStatistics:
     combinations_enumerated: int = 0
     entries_cached: int = 0
     unique_plans: int = 0
+    whatif_cache_hits: int = 0
+    whatif_cache_misses: int = 0
 
     @property
     def optimizer_calls_total(self) -> int:
@@ -118,6 +127,17 @@ class CacheBuildStatistics:
         """All wall-clock seconds spent building this cache."""
         return self.seconds_plans + self.seconds_access_costs
 
+    @property
+    def whatif_requests(self) -> int:
+        """What-if probes issued (optimizer calls plus memoized hits)."""
+        return self.optimizer_calls_total + self.whatif_cache_hits
+
+    @property
+    def whatif_hit_rate(self) -> float:
+        """Fraction of what-if probes answered without an optimizer call."""
+        if not self.whatif_requests:
+            return 0.0
+        return self.whatif_cache_hits / self.whatif_requests
 
 class InumCache:
     """The per-query plan cache."""

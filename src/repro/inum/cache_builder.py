@@ -13,16 +13,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.catalog.index import Index
-from repro.inum.access_costs import AccessCostInfo
 from repro.inum.cache import CacheEntry, InumCache
 from repro.inum.combinations import candidate_probe_indexes, covering_configuration
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.interesting_orders import enumerate_combinations, interesting_orders_by_table
 from repro.optimizer.optimizer import Optimizer
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.query.ast import Query
 from repro.util.errors import PlanningError
 
@@ -53,11 +52,22 @@ class InumBuilderOptions:
 
 
 class InumCacheBuilder:
-    """Builds an :class:`InumCache` the pre-PINUM way."""
+    """Builds an :class:`InumCache` the pre-PINUM way.
 
-    def __init__(self, optimizer: Optimizer, options: Optional[InumBuilderOptions] = None) -> None:
+    ``call_cache`` optionally routes every what-if probe through a shared
+    :class:`~repro.optimizer.whatif.WhatIfCallCache`; probes the cache has
+    seen before (identical configuration and flags) are answered from memory
+    and recorded as ``whatif_cache_hits`` in the build statistics.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        options: Optional[InumBuilderOptions] = None,
+        call_cache: Optional[WhatIfCallCache] = None,
+    ) -> None:
         self._optimizer = optimizer
-        self._whatif = WhatIfOptimizer(optimizer)
+        self._whatif = call_cache if call_cache is not None else WhatIfOptimizer(optimizer)
         self._options = options or InumBuilderOptions()
 
     # -- plan cache -------------------------------------------------------------
@@ -67,10 +77,17 @@ class InumCacheBuilder:
         query: Query,
         candidate_indexes: Optional[Sequence[Index]] = None,
     ) -> InumCache:
-        """Fill the plan cache and the access-cost table for ``query``."""
+        """Fill the plan cache and the access-cost table for ``query``.
+
+        Access costs are collected *first*: their per-index probes warm the
+        call cache, so the plan phase's single-order covering configurations
+        (the same probes, per Section IV's redundancy observation) become
+        memoized hits when a :class:`WhatIfCallCache` is in use.  Without a
+        call cache the phase order is irrelevant.
+        """
         cache = InumCache(query)
-        self.build_plan_cache(query, cache)
         self.collect_access_costs(query, cache, candidate_indexes)
+        self.build_plan_cache(query, cache)
         cache.validate()
         return cache
 
@@ -83,7 +100,8 @@ class InumCacheBuilder:
             combinations = combinations[: self._options.max_combinations]
 
         started = time.perf_counter()
-        calls = 0
+        baseline = WhatIfCallCache.hit_baseline(self._whatif)
+        probes = 0
         for ioc in combinations:
             configuration = covering_configuration(
                 query, ioc,
@@ -92,20 +110,24 @@ class InumCacheBuilder:
             result = self._whatif.optimize_with_configuration(
                 query, configuration.indexes, exclusive=True, enable_nestloop=False
             )
-            calls += 1
+            probes += 1
             cache.add_entry(CacheEntry.from_plan(result.plan, orders_by_table, source="inum"))
 
             if self._options.include_nestloop_plans:
                 nlj_result = self._whatif.optimize_with_configuration(
                     query, configuration.indexes, exclusive=True, enable_nestloop=True
                 )
-                calls += 1
+                probes += 1
                 if nlj_result.plan.uses_nested_loop():
                     cache.add_entry(
                         CacheEntry.from_plan(nlj_result.plan, orders_by_table, source="inum")
                     )
 
-        cache.build_stats.optimizer_calls_plans += calls
+        hits = WhatIfCallCache.hits_since(self._whatif, baseline)
+        cache.build_stats.optimizer_calls_plans += probes - hits
+        cache.build_stats.whatif_cache_hits += hits
+        if isinstance(self._whatif, WhatIfCallCache):
+            cache.build_stats.whatif_cache_misses += probes - hits
         cache.build_stats.seconds_plans += time.perf_counter() - started
         cache.build_stats.combinations_enumerated = len(combinations)
         cache.build_stats.entries_cached = cache.entry_count
@@ -132,14 +154,15 @@ class InumCacheBuilder:
             candidate_probe_indexes(query)
         )
         started = time.perf_counter()
-        calls = 0
+        baseline = WhatIfCallCache.hit_baseline(self._whatif)
+        probes = 0
 
         # Heap (sequential-scan) costs: a single call with no indexes visible.
         hooks = OptimizerHooks(keep_all_access_paths=True)
         result = self._whatif.optimize_with_configuration(
             query, [], exclusive=True, enable_nestloop=False, hooks=hooks
         )
-        calls += 1
+        probes += 1
         for path in result.access_paths:
             if path.method == "seqscan":
                 cache.access_costs.add_path(path)
@@ -152,7 +175,7 @@ class InumCacheBuilder:
             result = self._whatif.optimize_with_configuration(
                 query, [index], exclusive=True, enable_nestloop=False, hooks=hooks
             )
-            calls += 1
+            probes += 1
             recorded = False
             for path in result.access_paths:
                 if path.index is not None and path.index.key == index.key:
@@ -163,5 +186,9 @@ class InumCacheBuilder:
                     f"optimizer call for index {index.name!r} produced no access path"
                 )
 
-        cache.build_stats.optimizer_calls_access_costs += calls
+        hits = WhatIfCallCache.hits_since(self._whatif, baseline)
+        cache.build_stats.optimizer_calls_access_costs += probes - hits
+        cache.build_stats.whatif_cache_hits += hits
+        if isinstance(self._whatif, WhatIfCallCache):
+            cache.build_stats.whatif_cache_misses += probes - hits
         cache.build_stats.seconds_access_costs += time.perf_counter() - started

@@ -8,7 +8,7 @@ functions here build exactly those covering what-if indexes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.catalog.index import Index
 from repro.inum.atomic_config import AtomicConfiguration

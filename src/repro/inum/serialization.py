@@ -1,9 +1,11 @@
-"""Serialization of plan caches to and from plain JSON-able dictionaries.
+"""Serialization of plan caches: JSON round-trips and the persistent store.
 
 The paper motivates cheap cache construction partly by *online* physical
 design, where caches must be built (and kept) per query as the workload
 arrives.  Persisting a cache between designer runs makes the construction
-cost a one-time expense; this module provides the stable on-disk format.
+cost a one-time expense; this module provides the stable on-disk format and
+the :class:`CacheStore` that manages a directory of such caches keyed by
+catalog and query fingerprints.
 
 Only the information the cost model needs is stored: per-entry internal
 costs, symbolic leaf slots and the access-cost table.  The original plan
@@ -15,17 +17,25 @@ cache therefore answers `estimate()` identically but reports
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
 
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
 from repro.inum.access_costs import AccessCostInfo
 from repro.inum.cache import CacheBuildStatistics, CacheEntry, CachedSlot, InumCache
 from repro.optimizer.interesting_orders import InterestingOrderCombination
 from repro.optimizer.plan import PlanSummary
 from repro.query.ast import Query
 from repro.util.errors import PlanningError
+from repro.util.fingerprint import catalog_fingerprint, index_set_fingerprint, query_fingerprint
 
 #: Format version written into every serialized cache.
 FORMAT_VERSION = 1
+
+#: Format version of the :class:`CacheStore` envelope around a cache.
+STORE_FORMAT_VERSION = 1
 
 
 def cache_to_dict(cache: InumCache) -> Dict[str, Any]:
@@ -45,6 +55,8 @@ def cache_to_dict(cache: InumCache) -> Dict[str, Any]:
             "combinations_enumerated": cache.build_stats.combinations_enumerated,
             "entries_cached": cache.build_stats.entries_cached,
             "unique_plans": cache.build_stats.unique_plans,
+            "whatif_cache_hits": cache.build_stats.whatif_cache_hits,
+            "whatif_cache_misses": cache.build_stats.whatif_cache_misses,
         },
     }
 
@@ -78,6 +90,8 @@ def cache_from_dict(payload: Dict[str, Any], query: Query) -> InumCache:
         combinations_enumerated=int(stats.get("combinations_enumerated", 0)),
         entries_cached=int(stats.get("entries_cached", 0)),
         unique_plans=int(stats.get("unique_plans", 0)),
+        whatif_cache_hits=int(stats.get("whatif_cache_hits", 0)),
+        whatif_cache_misses=int(stats.get("whatif_cache_misses", 0)),
     )
     return cache
 
@@ -93,6 +107,168 @@ def load_cache(path: str, query: Query) -> InumCache:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return cache_from_dict(payload, query)
+
+
+# -- the persistent cache store ----------------------------------------------------
+
+
+class CacheStoreStatistics:
+    """Bookkeeping of one :class:`CacheStore` instance's activity."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.stale_rejections = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStoreStatistics(hits={self.hits}, misses={self.misses}, "
+            f"saves={self.saves}, stale={self.stale_rejections})"
+        )
+
+
+class CacheStore:
+    """A persistent, versioned directory of per-query plan caches.
+
+    Layout::
+
+        <root>/
+          <catalog fingerprint>/
+            <query fingerprint>.<builder>.json
+
+    Each file wraps :func:`cache_to_dict`'s payload in an envelope recording
+    the store format version, the catalog fingerprint the cache was built
+    against, the query fingerprint, the builder that produced it and a digest
+    of the candidate-index set whose access costs were collected.  A lookup
+    only succeeds when *all* of those match: changing the schema or the
+    statistics changes the catalog fingerprint (a different subdirectory is
+    consulted, so every old cache is invisible), and a cache built for a
+    different candidate set or builder is rejected as stale.  Corrupt or
+    unreadable files are treated as misses, never as errors.
+    """
+
+    def __init__(self, root: Union[str, Path], catalog: Catalog) -> None:
+        self.root = Path(root)
+        self.catalog_fingerprint = catalog_fingerprint(catalog)
+        self.statistics = CacheStoreStatistics()
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def catalog_dir(self) -> Path:
+        """Directory holding this catalog's caches."""
+        return self.root / self.catalog_fingerprint
+
+    def path_for(self, query: Query, builder: str = "pinum") -> Path:
+        """Where a query's cache lives for the given builder."""
+        return self.catalog_dir / f"{query_fingerprint(query)}.{builder}.json"
+
+    # -- load / save ------------------------------------------------------
+
+    def load(
+        self,
+        query: Query,
+        builder: str = "pinum",
+        candidate_indexes: Optional[Sequence[Index]] = None,
+    ) -> Optional[InumCache]:
+        """The stored cache for ``query``, or ``None`` on any mismatch.
+
+        ``candidate_indexes`` must be the set the caller is about to build
+        with; a stored cache whose access costs were collected for a
+        different set is stale (it could not answer configuration questions
+        about the new candidates) and is rejected.
+        """
+        path = self.path_for(query, builder)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            self.statistics.misses += 1
+            return None
+        try:
+            cache = self._unwrap(envelope, query, builder, candidate_indexes)
+        except PlanningError:
+            self.statistics.stale_rejections += 1
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return cache
+
+    def save(
+        self,
+        query: Query,
+        cache: InumCache,
+        builder: str = "pinum",
+        candidate_indexes: Optional[Sequence[Index]] = None,
+    ) -> Path:
+        """Persist ``cache`` atomically; returns the file path.
+
+        An unusable store location (``root`` is a file, permissions, a full
+        disk) raises :class:`PlanningError` rather than leaking the raw
+        :class:`OSError` -- a misconfigured ``--cache-dir`` should produce a
+        one-line CLI error, not a traceback.
+        """
+        path = self.path_for(query, builder)
+        envelope = {
+            "store_format_version": STORE_FORMAT_VERSION,
+            "catalog_fingerprint": self.catalog_fingerprint,
+            "query_fingerprint": query_fingerprint(query),
+            "builder": builder,
+            "candidate_fingerprint": index_set_fingerprint(candidate_indexes),
+            "cache": cache_to_dict(cache),
+        }
+        scratch = path.with_suffix(".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(scratch, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, indent=2, sort_keys=True)
+            os.replace(scratch, path)
+        except OSError as error:
+            raise PlanningError(f"cannot write cache store file {path}: {error}") from None
+        self.statistics.saves += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache stored for this catalog; returns the count."""
+        removed = 0
+        if self.catalog_dir.is_dir():
+            for path in self.catalog_dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def stored_count(self) -> int:
+        """Number of cache files currently stored for this catalog."""
+        if not self.catalog_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.catalog_dir.glob("*.json"))
+
+    # -- internals --------------------------------------------------------
+
+    def _unwrap(
+        self,
+        envelope: Dict[str, Any],
+        query: Query,
+        builder: str,
+        candidate_indexes: Optional[Sequence[Index]],
+    ) -> InumCache:
+        if envelope.get("store_format_version") != STORE_FORMAT_VERSION:
+            raise PlanningError("unsupported store format version")
+        if envelope.get("catalog_fingerprint") != self.catalog_fingerprint:
+            raise PlanningError("cache was built against a different catalog")
+        if envelope.get("query_fingerprint") != query_fingerprint(query):
+            raise PlanningError("cache was built for a different query")
+        if envelope.get("builder") != builder:
+            raise PlanningError("cache was built by a different builder")
+        if envelope.get("candidate_fingerprint") != index_set_fingerprint(candidate_indexes):
+            raise PlanningError("cache was built for a different candidate set")
+        payload = dict(envelope.get("cache") or {})
+        # The store matches queries by fingerprint (canonical SQL); the
+        # caller's name for the same statement may differ from the one the
+        # cache was saved under.
+        payload["query_name"] = query.name
+        return cache_from_dict(payload, query)
 
 
 # -- entry / slot / access-cost conversion helpers --------------------------------

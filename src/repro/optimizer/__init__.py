@@ -24,7 +24,7 @@ from repro.optimizer.interesting_orders import (
 from repro.optimizer.optimizer import OptimizationResult, Optimizer, OptimizerOptions
 from repro.optimizer.plan import AccessPath, PlanNode
 from repro.optimizer.selectivity import SelectivityEstimator
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.optimizer.whatif import WhatIfCallCache, WhatIfCallStatistics, WhatIfOptimizer
 
 __all__ = [
     "AccessPath",
@@ -37,6 +37,8 @@ __all__ = [
     "OptimizerOptions",
     "PlanNode",
     "SelectivityEstimator",
+    "WhatIfCallCache",
+    "WhatIfCallStatistics",
     "WhatIfOptimizer",
     "enumerate_combinations",
     "interesting_orders_for",

@@ -19,7 +19,7 @@ from repro.optimizer.cost_model import CostModel
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.plan import AccessPath
 from repro.optimizer.selectivity import SelectivityEstimator
-from repro.query.ast import Comparison, Query
+from repro.query.ast import Query
 
 
 class AccessPathCollector:

@@ -10,7 +10,7 @@ provide the required ordering."
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.plan import AggregateNode, PlanNode, SortNode

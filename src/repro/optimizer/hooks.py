@@ -15,7 +15,7 @@ caller reads ``collected_access_paths`` and ``collected_plans`` (the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.interesting_orders import InterestingOrderCombination

@@ -10,7 +10,7 @@ negative or zero cardinalities where that would be meaningless.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Sequence
+from typing import Dict, FrozenSet, Iterable
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.statistics import TableStatistics

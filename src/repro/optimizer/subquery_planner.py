@@ -10,7 +10,7 @@ the original architecture and giving future sub-query support a home.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.optimizer.access_paths import AccessPathCollector

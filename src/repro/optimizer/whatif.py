@@ -5,16 +5,24 @@ hypothetical) indexes, temporarily make them visible to the optimizer and ask
 for the query's optimal plan and cost.  INUM's classic cache builder and all
 of the accuracy experiments consume this interface; PINUM's point is to need
 far fewer passes through it.
+
+:class:`WhatIfCallCache` adds a memoization layer on top: the Section IV
+observation is that cache construction asks the optimizer many *identical*
+questions, so a workload-scale build wraps the what-if interface once and
+every repeated (query, configuration, flags) probe is answered from memory
+instead of re-optimizing.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.index import Index
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.query.ast import Query
+from repro.util.fingerprint import configuration_signature, query_fingerprint
 
 
 class WhatIfOptimizer:
@@ -59,3 +67,154 @@ class WhatIfOptimizer:
         return self.optimize_with_configuration(
             query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop
         ).cost
+
+
+# -- the memoization layer ---------------------------------------------------------
+
+
+@dataclass
+class WhatIfCallStatistics:
+    """Hit/miss accounting of one :class:`WhatIfCallCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total what-if requests routed through the cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests answered without an optimizer call."""
+        if not self.requests:
+            return 0.0
+        return self.hits / self.requests
+
+
+#: Hook signature: ``None`` for a plain call, otherwise the three switches
+#: (``subsumption_pruning`` is normalised away when ``keep_all_ioc_plans`` is
+#: off, where it has no effect).
+HooksSignature = Optional[Tuple[bool, bool, Optional[bool]]]
+
+
+def _hooks_signature(hooks: Optional[OptimizerHooks]) -> HooksSignature:
+    if hooks is None:
+        return None
+    return (
+        hooks.keep_all_access_paths,
+        hooks.keep_all_ioc_plans,
+        hooks.subsumption_pruning if hooks.keep_all_ioc_plans else None,
+    )
+
+
+class WhatIfCallCache:
+    """Memoizing wrapper around :meth:`WhatIfOptimizer.optimize_with_configuration`.
+
+    Entries are keyed by (query fingerprint, configuration signature,
+    ``exclusive``, ``enable_nestloop``) plus the hook signature of the call.
+    Identical probe configurations -- across interesting-order combinations,
+    across INUM/PINUM builders, across advisor evaluations -- stop paying for
+    re-optimization.
+
+    One asymmetry is exploited deliberately: the hooks only *export* extra
+    information (all access paths, all per-IOC plans); they never change the
+    plan the optimizer returns.  A hook-less request can therefore be served
+    from a result that was produced with ``keep_all_access_paths`` enabled.
+    Requests *with* hooks still require a result collected under the same
+    hook signature, because a hook-less result lacks the exported data, and
+    ``keep_all_ioc_plans`` results are never reused for hook-less requests
+    (the DP keeps extra states in that mode, so plan tie-breaking can differ).
+    """
+
+    def __init__(self, whatif: Union[WhatIfOptimizer, Optimizer]) -> None:
+        if isinstance(whatif, Optimizer):
+            whatif = WhatIfOptimizer(whatif)
+        self._whatif = whatif
+        self._entries: Dict[tuple, List[Tuple[HooksSignature, OptimizationResult]]] = {}
+        self.statistics = WhatIfCallStatistics()
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The underlying optimizer (for call-count inspection)."""
+        return self._whatif.optimizer
+
+    def __len__(self) -> int:
+        return sum(len(results) for results in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop all memoized results (statistics are kept)."""
+        self._entries.clear()
+
+    def optimize_with_configuration(
+        self,
+        query: Query,
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+        enable_nestloop: Optional[bool] = None,
+        hooks: Optional[OptimizerHooks] = None,
+    ) -> OptimizationResult:
+        """Same contract as the wrapped what-if optimizer, memoized."""
+        key = (
+            query_fingerprint(query),
+            configuration_signature(indexes),
+            exclusive,
+            enable_nestloop,
+        )
+        signature = _hooks_signature(hooks)
+        cached = self._lookup(key, signature)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        result = self._whatif.optimize_with_configuration(
+            query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop, hooks=hooks
+        )
+        self.statistics.misses += 1
+        self._entries.setdefault(key, []).append((signature, result))
+        return result
+
+    def cost_with_configuration(
+        self,
+        query: Query,
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+        enable_nestloop: Optional[bool] = None,
+    ) -> float:
+        """Optimal cost of ``query`` under the configuration, memoized."""
+        return self.optimize_with_configuration(
+            query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop
+        ).cost
+
+    @staticmethod
+    def hit_baseline(whatif: object) -> int:
+        """Current hit count of ``whatif`` (0 for a plain, uncached optimizer).
+
+        Builders snapshot this before a build phase and pass it to
+        :meth:`hits_since` afterwards, so the same code path records hit/miss
+        statistics whether or not a call cache is in use.
+        """
+        statistics = getattr(whatif, "statistics", None)
+        return statistics.hits if isinstance(statistics, WhatIfCallStatistics) else 0
+
+    @staticmethod
+    def hits_since(whatif: object, baseline: int) -> int:
+        """Hits accumulated on ``whatif`` since ``baseline`` was snapshotted."""
+        statistics = getattr(whatif, "statistics", None)
+        if not isinstance(statistics, WhatIfCallStatistics):
+            return 0
+        return statistics.hits - baseline
+
+    def _lookup(self, key: tuple, signature: HooksSignature) -> Optional[OptimizationResult]:
+        results = self._entries.get(key)
+        if not results:
+            return None
+        for stored_signature, result in results:
+            if stored_signature == signature:
+                return result
+        if signature is None:
+            # Serve a plain request from an access-path-export result: the
+            # exported paths are extra payload, the plan is identical.
+            for stored_signature, result in results:
+                if stored_signature is not None and not stored_signature[1]:
+                    return result
+        return None

@@ -11,22 +11,31 @@ optimizer call -- versus one call per index for the classic approach, the
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.catalog.index import Index
 from repro.inum.cache import InumCache
 from repro.inum.combinations import candidate_probe_indexes
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.optimizer import Optimizer
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.query.ast import Query
 
 
 class PinumAccessCostCollector:
-    """Collects every candidate index's access cost with one optimizer call."""
+    """Collects every candidate index's access cost with one optimizer call.
 
-    def __init__(self, optimizer: Optimizer) -> None:
-        self._whatif = WhatIfOptimizer(optimizer)
+    ``whatif`` lets the caller share a what-if interface (typically a
+    memoizing :class:`~repro.optimizer.whatif.WhatIfCallCache`) instead of
+    this collector creating its own.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        whatif: Optional[Union[WhatIfOptimizer, WhatIfCallCache]] = None,
+    ) -> None:
+        self._whatif = whatif if whatif is not None else WhatIfOptimizer(optimizer)
 
     def collect(
         self,
@@ -42,15 +51,20 @@ class PinumAccessCostCollector:
         """
         candidates = self._candidates(query, candidate_indexes)
         started = time.perf_counter()
+        baseline = WhatIfCallCache.hit_baseline(self._whatif)
         hooks = OptimizerHooks(keep_all_access_paths=True)
         result = self._whatif.optimize_with_configuration(
             query, candidates, exclusive=True, enable_nestloop=False, hooks=hooks
         )
         for path in result.access_paths:
             cache.access_costs.add_path(path)
-        cache.build_stats.optimizer_calls_access_costs += 1
+        hits = WhatIfCallCache.hits_since(self._whatif, baseline)
+        cache.build_stats.optimizer_calls_access_costs += 1 - hits
+        cache.build_stats.whatif_cache_hits += hits
+        if isinstance(self._whatif, WhatIfCallCache):
+            cache.build_stats.whatif_cache_misses += 1 - hits
         cache.build_stats.seconds_access_costs += time.perf_counter() - started
-        return 1
+        return 1 - hits
 
     @staticmethod
     def _candidates(

@@ -30,7 +30,7 @@ from repro.inum.cache import CacheEntry, InumCache
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.interesting_orders import interesting_orders_by_table
 from repro.optimizer.optimizer import Optimizer
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.pinum.access_costs import PinumAccessCostCollector
 from repro.query.ast import Query
 
@@ -52,13 +52,24 @@ class PinumBuilderOptions:
 
 
 class PinumCacheBuilder:
-    """Builds an :class:`InumCache` by harvesting intermediate optimizer plans."""
+    """Builds an :class:`InumCache` by harvesting intermediate optimizer plans.
 
-    def __init__(self, optimizer: Optimizer, options: Optional[PinumBuilderOptions] = None) -> None:
+    ``call_cache`` optionally routes the (already few) what-if calls through
+    a shared :class:`~repro.optimizer.whatif.WhatIfCallCache`, so rebuilding
+    the same query's cache -- e.g. across advisor runs in one process --
+    costs no optimizer calls at all.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        options: Optional[PinumBuilderOptions] = None,
+        call_cache: Optional[WhatIfCallCache] = None,
+    ) -> None:
         self._optimizer = optimizer
-        self._whatif = WhatIfOptimizer(optimizer)
+        self._whatif = call_cache if call_cache is not None else WhatIfOptimizer(optimizer)
         self._options = options or PinumBuilderOptions()
-        self._access_collector = PinumAccessCostCollector(optimizer)
+        self._access_collector = PinumAccessCostCollector(optimizer, whatif=self._whatif)
 
     # -- public API --------------------------------------------------------------
 
@@ -84,6 +95,7 @@ class PinumCacheBuilder:
         probing_indexes = probing_index_set(query)
 
         started = time.perf_counter()
+        baseline = WhatIfCallCache.hit_baseline(self._whatif)
         calls = 0
 
         # Call 1: nested loops off, harvest one plan per IOC.
@@ -117,7 +129,11 @@ class PinumCacheBuilder:
                         CacheEntry.from_plan(plan, orders_by_table, source="pinum")
                     )
 
-        cache.build_stats.optimizer_calls_plans += calls
+        hits = WhatIfCallCache.hits_since(self._whatif, baseline)
+        cache.build_stats.optimizer_calls_plans += calls - hits
+        cache.build_stats.whatif_cache_hits += hits
+        if isinstance(self._whatif, WhatIfCallCache):
+            cache.build_stats.whatif_cache_misses += calls - hits
         cache.build_stats.seconds_plans += time.perf_counter() - started
         cache.build_stats.combinations_enumerated = len(result.ioc_plans)
         cache.build_stats.entries_cached = cache.entry_count

@@ -11,8 +11,8 @@ dictionary keys by the plan caches.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.util.errors import QueryError
 

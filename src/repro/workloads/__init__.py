@@ -1,10 +1,29 @@
 """Workloads: the paper's synthetic star schema and a TPC-H-like schema."""
 
+from repro.util.errors import ReproError
 from repro.workloads.star_schema import StarSchemaWorkload
 from repro.workloads.tpch_like import build_tpch_like_catalog, tpch_q5_like_query
+
+
+def builtin_catalog_factory(name: str, seed: int = 7):
+    """Build one of the built-in catalogs by name (``"star"`` or ``"tpch"``).
+
+    This module-level function exists so it can be pickled: the parallel
+    :class:`~repro.inum.workload_builder.WorkloadCacheBuilder` ships a
+    catalog factory to its worker processes, and
+    ``functools.partial(builtin_catalog_factory, "star", seed)`` survives the
+    trip where a lambda or a bound method would not.
+    """
+    if name == "star":
+        return StarSchemaWorkload(seed=seed).catalog()
+    if name == "tpch":
+        return build_tpch_like_catalog()
+    raise ReproError(f"unknown catalog {name!r} (expected 'star' or 'tpch')")
+
 
 __all__ = [
     "StarSchemaWorkload",
     "build_tpch_like_catalog",
+    "builtin_catalog_factory",
     "tpch_q5_like_query",
 ]

@@ -25,8 +25,7 @@ Data for execution experiments is produced separately (and much smaller) via
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table

@@ -14,8 +14,6 @@ without the real benchmark data the prototype could not handle anyway.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
 from repro.catalog.statistics import TableStatistics

@@ -1,7 +1,5 @@
 """Tests for candidate index generation."""
 
-import pytest
-
 from repro.advisor import CandidateGenerator
 
 

@@ -8,7 +8,6 @@ from repro.advisor.benefit import (
 )
 from repro.advisor.candidates import CandidateGenerator
 from repro.advisor.greedy import GreedySelector
-from repro.catalog.index import Index
 from repro.optimizer import Optimizer
 from repro.util.errors import AdvisorError
 from repro.util.units import megabytes

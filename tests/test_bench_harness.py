@@ -1,5 +1,7 @@
 """Tests for the benchmark harness helpers."""
 
+import warnings
+
 import pytest
 
 from repro.bench.harness import (
@@ -53,6 +55,24 @@ class TestMetrics:
         assert geometric_mean([1, 100]) == pytest.approx(10.0)
         assert geometric_mean([]) == 0.0
         assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_geometric_mean_warns_on_dropped_values(self):
+        with pytest.warns(RuntimeWarning, match="2 non-positive"):
+            result = geometric_mean([1.0, 0.0, -3.0, 100.0])
+        assert result == pytest.approx(10.0)
+
+    def test_geometric_mean_strict_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geometric_mean([1.0, -1.0], strict=True)
+
+    def test_geometric_mean_all_dropped_returns_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert geometric_mean([0.0, -2.0]) == 0.0
+
+    def test_geometric_mean_positive_inputs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
 
     def test_speedup_table(self):
         speedups = speedup_table({"q1": 10.0, "q2": 4.0}, {"q1": 2.0, "q2": 0.0})

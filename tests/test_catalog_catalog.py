@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.catalog import Catalog, Column, ColumnType, ForeignKey, Index, Table, TableStatistics
+from repro.catalog import Catalog, Column, ForeignKey, Index, Table, TableStatistics
 from repro.util.errors import CatalogError
 
 

@@ -23,6 +23,18 @@ class TestParser:
         )
         assert args.budget_gb == 2.0
         assert args.cost_model == "inum"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+
+    def test_cache_workload_options(self):
+        args = build_parser().parse_args(
+            ["cache-workload", "--catalog", "star", "--jobs", "4",
+             "--cache-dir", ".inum-cache", "--builder", "inum"]
+        )
+        assert args.command == "cache-workload"
+        assert args.jobs == 4
+        assert args.cache_dir == ".inum-cache"
+        assert args.builder == "inum"
 
 
 class TestExplain:
@@ -85,6 +97,19 @@ class TestCache:
         assert len(saved) == 1
         payload = json.loads(saved[0].read_text())
         assert payload["query_name"] == "Q1"
+
+    def test_cache_workload_cold_and_warm(self, tmp_path, capsys):
+        cache_dir = tmp_path / "store"
+        argv = ["cache-workload", "--catalog", "tpch", "--cache-dir", str(cache_dir)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Workload cache construction (pinum, jobs=1)" in cold
+        assert "2 built, 0 from store" in cold
+        # The second run must answer entirely from the persistent store.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 built, 2 from store" in warm
+        assert "optimizer calls : 0" in warm
 
     def test_sql_file_input(self, tmp_path, capsys):
         sql_file = tmp_path / "workload.sql"

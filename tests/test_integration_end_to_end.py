@@ -2,8 +2,6 @@
 workloads: star-schema cache construction, cost-model accuracy, the TPC-H-like
 redundancy observation and the advisor-to-executor loop."""
 
-import pytest
-
 from repro.advisor import AdvisorOptions, CandidateGenerator, IndexAdvisor
 from repro.executor import PlanExecutor
 from repro.inum import AtomicConfiguration, InumCacheBuilder, InumCostModel

@@ -1,7 +1,5 @@
 """Tests for the classic INUM cache builder."""
 
-import pytest
-
 from repro.catalog.index import Index
 from repro.inum import InumBuilderOptions, InumCacheBuilder
 from repro.inum.combinations import (
@@ -10,11 +8,7 @@ from repro.inum.combinations import (
     covering_indexes_for,
 )
 from repro.optimizer import Optimizer
-from repro.optimizer.interesting_orders import (
-    InterestingOrderCombination,
-    combination_count,
-    enumerate_combinations,
-)
+from repro.optimizer.interesting_orders import InterestingOrderCombination, combination_count
 
 
 class TestCoveringIndexes:

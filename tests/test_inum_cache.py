@@ -3,8 +3,8 @@
 import pytest
 
 from repro.catalog.index import Index
-from repro.inum.cache import CacheEntry, CachedSlot, InumCache
-from repro.optimizer import Optimizer, OptimizerHooks
+from repro.inum.cache import CacheEntry, InumCache
+from repro.optimizer import Optimizer
 from repro.optimizer.interesting_orders import interesting_orders_by_table
 from repro.optimizer.plan import AccessPath
 from repro.util.errors import PlanningError

@@ -84,6 +84,7 @@ class TestSortAndAggregate:
         in_memory = model.sort(0.0, 10_000, 100)
         spilling = model.sort(0.0, 10_000_000, 100)
         # The spilling sort must include the write+read I/O term.
+        assert spilling > in_memory
         assert spilling > model.sort(0.0, 10_000_000, 1)
 
     def test_sorted_aggregate_cheaper_than_hashed(self, model):

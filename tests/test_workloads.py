@@ -1,7 +1,5 @@
 """Tests for the star-schema and TPC-H-like workload generators."""
 
-import pytest
-
 from repro.optimizer import Optimizer
 from repro.optimizer.interesting_orders import combination_count
 from repro.query.preprocessor import QueryPreprocessor
