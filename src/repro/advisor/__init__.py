@@ -12,11 +12,13 @@ exactly the trade-off Figures 4 and 6/7 quantify.
 from repro.advisor.advisor import AdvisorOptions, AdvisorResult, IndexAdvisor
 from repro.advisor.benefit import (
     CacheBackedWorkloadCostModel,
+    IncrementalWorkloadEvaluator,
     OptimizerWorkloadCostModel,
     WorkloadCostModel,
 )
 from repro.advisor.candidates import CandidateGenerator
-from repro.advisor.greedy import GreedySelector, SelectionStep
+from repro.advisor.greedy import GreedySelector, SelectionStatistics, SelectionStep
+from repro.advisor.lazy_greedy import LazyGreedySelector
 
 __all__ = [
     "AdvisorOptions",
@@ -24,8 +26,11 @@ __all__ = [
     "CacheBackedWorkloadCostModel",
     "CandidateGenerator",
     "GreedySelector",
+    "IncrementalWorkloadEvaluator",
     "IndexAdvisor",
+    "LazyGreedySelector",
     "OptimizerWorkloadCostModel",
+    "SelectionStatistics",
     "SelectionStep",
     "WorkloadCostModel",
 ]

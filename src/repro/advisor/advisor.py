@@ -12,12 +12,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.advisor.benefit import (
+    ENGINES,
     CacheBackedWorkloadCostModel,
     OptimizerWorkloadCostModel,
     WorkloadCostModel,
 )
+from repro.inum.compiled import numpy_available
 from repro.advisor.candidates import CandidateGenerator
-from repro.advisor.greedy import GreedySelector, SelectionStep
+from repro.advisor.greedy import GreedySelector, SelectionStatistics, SelectionStep
+from repro.advisor.lazy_greedy import LazyGreedySelector
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.inum.serialization import CacheStore
@@ -42,6 +45,13 @@ class AdvisorOptions:
     :class:`IndexAdvisor`).  ``cache_dir`` points at a persistent
     :class:`~repro.inum.serialization.CacheStore` directory so caches are
     reused across advisor runs and invalidated when the catalog changes.
+
+    ``selector`` picks the greedy search: ``"lazy"`` (default, the CELF-style
+    loop of :mod:`repro.advisor.lazy_greedy` -- identical picks, far fewer
+    benefit evaluations) or ``"exhaustive"`` (the paper's literal loop).
+    ``engine`` picks how cache-backed models evaluate: ``"auto"`` (default,
+    compiled arithmetic, vectorized with numpy when installed), ``"numpy"``,
+    ``"python"`` or ``"scalar"`` (the original per-slot walk).
     """
 
     space_budget_bytes: int = gigabytes(5)
@@ -50,6 +60,8 @@ class AdvisorOptions:
     min_relative_benefit: float = 1e-4
     jobs: int = 1
     cache_dir: Optional[str] = None
+    selector: str = "lazy"
+    engine: str = "auto"
 
 
 @dataclass
@@ -66,6 +78,14 @@ class AdvisorResult:
     total_index_bytes: int
     preparation_optimizer_calls: int = 0
     preparation_seconds: float = 0.0
+    selector: str = "lazy"
+    #: The *resolved* evaluation backend ("numpy", "python", "scalar", or
+    #: "optimizer" for the raw what-if oracle) -- not the requested option,
+    #: so ``engine="auto"`` runs report what actually executed.
+    engine: str = "scalar"
+    selection_seconds: float = 0.0
+    selection_candidate_evaluations: int = 0
+    selection_query_evaluations: int = 0
 
     @property
     def improvement_fraction(self) -> float:
@@ -83,6 +103,9 @@ class AdvisorResult:
             f"workload cost         : {self.workload_cost_before:.1f} -> "
             f"{self.workload_cost_after:.1f} "
             f"({self.improvement_fraction * 100.0:.1f}% improvement)",
+            f"selection phase       : {self.selection_seconds:.2f}s, "
+            f"{self.selection_candidate_evaluations} candidate evaluations "
+            f"({self.selector} selector, {self.engine} engine)",
         ]
         for index in self.selected_indexes:
             lines.append(f"  - {index.table}({', '.join(index.columns)})")
@@ -108,6 +131,23 @@ class IndexAdvisor:
                 f"unknown cost model {self._options.cost_model!r} "
                 "(expected 'pinum', 'inum' or 'optimizer')"
             )
+        if self._options.selector not in ("lazy", "exhaustive"):
+            raise AdvisorError(
+                f"unknown selector {self._options.selector!r} "
+                "(expected 'lazy' or 'exhaustive')"
+            )
+        # Fail on a bad engine here, before recommend() pays for a whole
+        # cache build only to have the cost model reject it afterwards.
+        if self._options.engine not in ENGINES:
+            raise AdvisorError(
+                f"unknown evaluation engine {self._options.engine!r} "
+                f"(expected one of {ENGINES})"
+            )
+        if self._options.engine == "numpy" and not numpy_available():
+            raise AdvisorError(
+                "the numpy evaluation engine was requested but numpy is not "
+                "installed (pip install 'pinum-repro[perf]')"
+            )
 
     def recommend(
         self,
@@ -126,13 +166,17 @@ class IndexAdvisor:
         per_query_before = cost_model.per_query_costs([])
         cost_before = sum(per_query_before.values())
 
-        selector = GreedySelector(
+        selector_class = (
+            LazyGreedySelector if self._options.selector == "lazy" else GreedySelector
+        )
+        selector = selector_class(
             self._catalog,
             cost_model,
             self._options.space_budget_bytes,
             self._options.min_relative_benefit,
         )
         steps = selector.select(candidate_list)
+        selection_stats: SelectionStatistics = selector.statistics
         selected = [step.chosen for step in steps]
         per_query_after = cost_model.per_query_costs(selected)
         cost_after = sum(per_query_after.values())
@@ -149,6 +193,15 @@ class IndexAdvisor:
             total_index_bytes=total_bytes,
             preparation_optimizer_calls=cost_model.preparation_optimizer_calls,
             preparation_seconds=cost_model.preparation_seconds,
+            selector=self._options.selector,
+            engine=(
+                cost_model.engine_backend
+                if isinstance(cost_model, CacheBackedWorkloadCostModel)
+                else "optimizer"
+            ),
+            selection_seconds=selection_stats.seconds,
+            selection_candidate_evaluations=selection_stats.candidate_evaluations,
+            selection_query_evaluations=selection_stats.query_evaluations,
         )
 
     # -- internals ---------------------------------------------------------------
@@ -169,4 +222,5 @@ class IndexAdvisor:
             jobs=self._options.jobs,
             store=store,
             catalog_factory=self._catalog_factory,
+            engine=self._options.engine,
         )

@@ -5,18 +5,30 @@ cost if this index set exists?*  Three interchangeable answers are provided:
 
 * :class:`OptimizerWorkloadCostModel` -- ask the optimizer a what-if question
   per query per evaluation (the pre-INUM approach, slowest but exact),
-* :class:`CacheBackedWorkloadCostModel` over INUM-built caches, and
-* :class:`CacheBackedWorkloadCostModel` over PINUM-built caches (the paper's
-  configuration: same arithmetic, caches built 5-10x faster).
+* :class:`CacheBackedWorkloadCostModel` with ``mode="inum"`` -- arithmetic
+  over classically-built INUM caches (the baseline), and
+* :class:`CacheBackedWorkloadCostModel` with ``mode="pinum"`` -- the paper's
+  configuration: same arithmetic, caches built 5-10x faster.
+
+Two layers make the selection phase itself workload-scale:
+
+* the cache-backed model evaluates through a compiled
+  :mod:`~repro.inum.compiled` engine (vectorized with numpy when installed,
+  a pure-Python layout evaluation otherwise), and
+* :class:`IncrementalWorkloadEvaluator` maintains per-query current costs
+  and, via the model's table -> queries relevance map, re-evaluates only the
+  queries whose tables a candidate index touches instead of summing the
+  whole workload from scratch.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.inum.compiled import CompiledCostEngine, compile_cache, numpy_available
 from repro.inum.cost_estimation import InumCostModel
 from repro.inum.serialization import CacheStore
 from repro.inum.workload_builder import WorkloadBuilderOptions, WorkloadCacheBuilder
@@ -27,6 +39,12 @@ from repro.query.ast import Query
 from repro.util.errors import AdvisorError
 from repro.util.fingerprint import configuration_signature, query_fingerprint
 
+#: Evaluation engines accepted by :class:`CacheBackedWorkloadCostModel`:
+#: ``"auto"`` compiles caches and lets :mod:`repro.inum.compiled` pick numpy
+#: or the pure-Python layout, ``"numpy"``/``"python"`` force a compiled
+#: backend, and ``"scalar"`` keeps the original per-slot Python walk.
+ENGINES = ("auto", "numpy", "python", "scalar")
+
 
 class WorkloadCostModel(abc.ABC):
     """Estimates the total workload cost under a hypothetical index set."""
@@ -35,10 +53,29 @@ class WorkloadCostModel(abc.ABC):
         if not queries:
             raise AdvisorError("the workload must contain at least one query")
         self.queries = list(queries)
+        self._queries_by_table: Dict[str, List[Query]] = {}
+        for query in self.queries:
+            for table in query.tables:
+                self._queries_by_table.setdefault(table, []).append(query)
+        #: Per-query evaluations answered so far (for selection-phase reports).
+        self.query_evaluations = 0
 
     @abc.abstractmethod
+    def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
+        """Cost of one query when ``indexes`` (and nothing else) exist."""
+
     def query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         """Cost of one query when ``indexes`` (and nothing else) exist."""
+        self.query_evaluations += 1
+        return self._query_cost(query, indexes)
+
+    def queries_touching(self, table: str) -> List[Query]:
+        """The workload queries that read ``table``.
+
+        An index on any other table cannot change their cost, which is what
+        delta evaluation exploits.
+        """
+        return self._queries_by_table.get(table, [])
 
     def workload_cost(self, indexes: Sequence[Index]) -> float:
         """Total cost of the workload under ``indexes``."""
@@ -57,6 +94,61 @@ class WorkloadCostModel(abc.ABC):
     def preparation_seconds(self) -> float:
         """Wall-clock seconds spent preparing the model."""
         return 0.0
+
+
+class IncrementalWorkloadEvaluator:
+    """Delta evaluation of workload costs for the greedy search.
+
+    The exhaustive loop recomputes every query's cost for every candidate in
+    every iteration, although a candidate index on table ``T`` can only move
+    the queries that read ``T``.  This evaluator keeps the current per-query
+    costs and answers "what if this candidate joined the winners?" by
+    re-evaluating just the relevant queries; totals are still summed over all
+    queries in workload order, so they are bit-identical to a full
+    :meth:`~WorkloadCostModel.workload_cost` call.
+    """
+
+    def __init__(self, model: WorkloadCostModel, indexes: Sequence[Index] = ()) -> None:
+        self._model = model
+        self._costs: Dict[str, float] = {
+            query.name: model.query_cost(query, list(indexes)) for query in model.queries
+        }
+        self._pending: Dict[tuple, Dict[str, float]] = {}
+
+    @property
+    def total(self) -> float:
+        """Current workload cost (matches ``workload_cost`` bit-for-bit)."""
+        return sum(self._costs.values())
+
+    def per_query_costs(self) -> Dict[str, float]:
+        """A copy of the current per-query costs."""
+        return dict(self._costs)
+
+    def cost_with(self, winners: Sequence[Index], candidate: Index) -> float:
+        """Workload cost of ``winners + [candidate]``.
+
+        Only queries touching ``candidate.table`` are re-evaluated; the new
+        per-query costs are remembered so a following :meth:`commit` of the
+        same candidate is free.
+        """
+        affected = self._model.queries_touching(candidate.table)
+        if not affected:
+            return self.total
+        extended = list(winners) + [candidate]
+        fresh = {query.name: self._model.query_cost(query, extended) for query in affected}
+        self._pending[candidate.key] = fresh
+        return sum(
+            fresh.get(query.name, self._costs[query.name]) for query in self._model.queries
+        )
+
+    def commit(self, winners: Sequence[Index], candidate: Index) -> None:
+        """Make ``candidate`` (last element of ``winners``) permanent."""
+        fresh = self._pending.get(candidate.key)
+        if fresh is None:
+            affected = self._model.queries_touching(candidate.table)
+            fresh = {query.name: self._model.query_cost(query, list(winners)) for query in affected}
+        self._costs.update(fresh)
+        self._pending.clear()
 
 
 class OptimizerWorkloadCostModel(WorkloadCostModel):
@@ -81,7 +173,7 @@ class OptimizerWorkloadCostModel(WorkloadCostModel):
         self._memoize = memoize
         self._cost_memo: Dict[tuple, float] = {}
 
-    def query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
+    def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         relevant = [index for index in indexes if index.table in query.tables]
         if not self._memoize:
             return self._whatif.cost_with_configuration(query, relevant, exclusive=True)
@@ -102,7 +194,9 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
     :class:`~repro.inum.workload_builder.WorkloadCacheBuilder`, so workload-
     scale machinery applies: ``jobs`` fans the builds across a process pool,
     ``store`` reuses caches persisted by earlier runs, and identical-SQL
-    queries are built once.  Every subsequent evaluation is pure arithmetic.
+    queries are built once.  Every subsequent evaluation is pure arithmetic,
+    performed by the ``engine`` of choice (see :data:`ENGINES`; the default
+    ``"auto"`` vectorizes with numpy when available).
     """
 
     def __init__(
@@ -114,6 +208,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         jobs: int = 1,
         store: Optional[CacheStore] = None,
         catalog_factory: Optional[Callable[[], Catalog]] = None,
+        engine: str = "auto",
     ) -> None:
         super().__init__(queries)
         if mode not in ("pinum", "inum"):
@@ -127,25 +222,63 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         )
         outcome = builder.build(self.queries, list(candidate_indexes))
         self.build_report = outcome.report
+        self._caches = outcome.caches
         self._models: Dict[str, InumCostModel] = {}
         for name, cache in outcome.caches.items():
             self._models[name] = PinumCostModel(cache) if mode == "pinum" else InumCostModel(cache)
+        self._engines: Dict[str, CompiledCostEngine] = {}
+        self.select_engine(engine)
         self._calls = outcome.report.optimizer_calls
         self._seconds = outcome.report.wall_seconds
 
-    def query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
-        model = self._models.get(query.name)
-        if model is None:
+    def select_engine(self, engine: str) -> None:
+        """Switch the evaluation engine (compiling caches when needed).
+
+        Compilation is cheap (one pass over each cache), so benchmarks can
+        flip one model between the scalar walk and the compiled backends
+        without rebuilding the caches.
+        """
+        if engine not in ENGINES:
+            raise AdvisorError(f"unknown evaluation engine {engine!r} (expected one of {ENGINES})")
+        if engine == "numpy" and not numpy_available():
+            raise AdvisorError(
+                "the numpy evaluation engine was requested but numpy is not "
+                "installed (pip install 'pinum-repro[perf]')"
+            )
+        if engine == "scalar":
+            self._engines = {}
+        else:
+            self._engines = {
+                name: compile_cache(cache, backend=engine) for name, cache in self._caches.items()
+            }
+
+    @property
+    def engine_backend(self) -> str:
+        """The active evaluation backend: "numpy", "python" or "scalar"."""
+        if not self._engines:
+            return "scalar"
+        return next(iter(self._engines.values())).backend
+
+    def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
+        evaluator: Union[CompiledCostEngine, InumCostModel, None]
+        evaluator = self._engines.get(query.name) or self._models.get(query.name)
+        if evaluator is None:
             raise AdvisorError(f"no cache was built for query {query.name!r}")
         relevant = [index for index in indexes if index.table in query.tables]
-        return model.estimate_with_indexes(relevant)
+        if isinstance(evaluator, CompiledCostEngine):
+            return evaluator.estimate(relevant)
+        return evaluator.estimate_with_indexes(relevant)
 
     def model_for(self, query: Query) -> InumCostModel:
-        """The per-query cost model (exposed for experiments)."""
+        """The per-query scalar cost model (exposed for experiments)."""
         model = self._models.get(query.name)
         if model is None:
             raise AdvisorError(f"no cache was built for query {query.name!r}")
         return model
+
+    def engine_for(self, query: Query) -> Optional[CompiledCostEngine]:
+        """The per-query compiled engine (``None`` under the scalar engine)."""
+        return self._engines.get(query.name)
 
     @property
     def preparation_optimizer_calls(self) -> int:

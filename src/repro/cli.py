@@ -4,7 +4,10 @@ The CLI exposes the library's main workflows over the built-in workload
 catalogs, so experiments can be driven without writing Python:
 
 * ``explain``        -- optimize a SQL query and print the plan,
-* ``recommend``      -- run the greedy index advisor over a workload,
+* ``recommend``      -- run the greedy index advisor over a workload
+  (``--selector`` picks the exhaustive or the CELF-style lazy loop,
+  ``--engine`` picks the cache evaluation engine -- compiled/vectorized by
+  default, ``scalar`` for the original per-slot walk),
 * ``cache``          -- build the INUM/PINUM plan cache for a query and
   report its statistics (optionally saving it to JSON),
 * ``cache-workload`` -- build the plan caches of a whole workload at once
@@ -119,6 +122,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             max_candidates=args.max_candidates,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            selector=args.selector,
+            engine=args.engine,
         ),
         catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
     )
@@ -127,6 +132,10 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     print(f"database size     : {format_bytes(catalog.database_size_bytes())}")
     print(f"cache preparation : {result.preparation_optimizer_calls} optimizer calls "
           f"({result.preparation_seconds:.2f}s, cost model {args.cost_model!r})")
+    print(f"index selection   : {result.selection_candidate_evaluations} candidate / "
+          f"{result.selection_query_evaluations} query evaluations "
+          f"({result.selection_seconds:.2f}s, selector {result.selector!r}, "
+          f"engine {result.engine!r})")
     print()
     print(result.summary())
 
@@ -269,6 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="process-pool width for the per-query cache builds")
     recommend.add_argument("--cache-dir",
                            help="persistent cache-store directory reused across runs")
+    recommend.add_argument("--selector", choices=["exhaustive", "lazy"], default="lazy",
+                           help="greedy search variant: the paper's exhaustive loop or "
+                                "the CELF-style lazy loop (identical picks, far fewer "
+                                "evaluations)")
+    recommend.add_argument("--engine", choices=["auto", "numpy", "python", "scalar"],
+                           default="auto",
+                           help="cache evaluation engine: compiled (numpy-vectorized "
+                                "when available) or the original scalar walk")
     recommend.set_defaults(handler=_cmd_recommend)
 
     cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")

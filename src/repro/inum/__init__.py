@@ -17,6 +17,13 @@ from repro.inum.access_costs import AccessCostInfo, AccessCostTable
 from repro.inum.cache import CacheBuildStatistics, CacheEntry, CachedSlot, InumCache
 from repro.inum.cache_builder import InumCacheBuilder, InumBuilderOptions
 from repro.inum.combinations import covering_configuration, covering_indexes_for
+from repro.inum.compiled import (
+    CompiledCostEngine,
+    CompiledEstimate,
+    IndexSetMemo,
+    compile_cache,
+    numpy_available,
+)
 from repro.inum.cost_estimation import CostEstimate, InumCostModel
 from repro.inum.serialization import (
     CacheStore,
@@ -35,7 +42,9 @@ from repro.inum.workload_builder import (
 __all__ = [
     "cache_from_dict",
     "cache_to_dict",
+    "compile_cache",
     "load_cache",
+    "numpy_available",
     "save_cache",
     "AccessCostInfo",
     "AccessCostTable",
@@ -44,7 +53,10 @@ __all__ = [
     "CacheEntry",
     "CacheStore",
     "CachedSlot",
+    "CompiledCostEngine",
+    "CompiledEstimate",
     "CostEstimate",
+    "IndexSetMemo",
     "InumBuilderOptions",
     "InumCache",
     "InumCacheBuilder",

@@ -12,10 +12,11 @@ Section II that replaces whole optimizer invocations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.inum.atomic_config import AtomicConfiguration
 from repro.inum.cache import CacheEntry, InumCache
+from repro.inum.compiled import IndexSetMemo
 from repro.util.errors import PlanningError
 
 
@@ -39,6 +40,7 @@ class InumCostModel:
     def __init__(self, cache: InumCache) -> None:
         cache.validate()
         self._cache = cache
+        self._by_table_memo: IndexSetMemo = IndexSetMemo(self._group_by_table)
 
     @property
     def cache(self) -> InumCache:
@@ -81,10 +83,13 @@ class InumCostModel:
         order -- the per-table minimum is what an optimizer would pick too,
         so no atomic enumeration is needed.
         """
+        return self.estimate_with_indexes_detail(indexes)[0]
+
+    def estimate_with_indexes_detail(self, indexes: "List") -> Tuple[float, CacheEntry]:
+        """Like :meth:`estimate_with_indexes`, also reporting the winning entry."""
         best_cost: Optional[float] = None
-        by_table: Dict[str, List] = {}
-        for index in indexes:
-            by_table.setdefault(index.table, []).append(index)
+        best_entry: Optional[CacheEntry] = None
+        by_table: Dict[str, List] = self._by_table_memo.get(indexes)
         for entry in self._cache.entries:
             cost = entry.internal_cost
             feasible = True
@@ -107,12 +112,13 @@ class InumCostModel:
                     cost += min(c.full_cost for c in candidates)
             if feasible and (best_cost is None or cost < best_cost):
                 best_cost = cost
-        if best_cost is None:
+                best_entry = entry
+        if best_cost is None or best_entry is None:
             raise PlanningError(
                 f"no cached plan of query {self._cache.query.name!r} is applicable to the "
                 "given index set"
             )
-        return best_cost
+        return best_cost, best_entry
 
     def best_configuration(
         self, configurations: List[AtomicConfiguration]
@@ -123,6 +129,14 @@ class InumCostModel:
         return min(configurations, key=self.estimate)
 
     # -- internals -----------------------------------------------------------------
+
+    @staticmethod
+    def _group_by_table(indexes: "List") -> Dict[str, List]:
+        """Group an index set by table (memoized per index-set signature)."""
+        by_table: Dict[str, List] = {}
+        for index in indexes:
+            by_table.setdefault(index.table, []).append(index)
+        return by_table
 
     def _cost_with_entry(
         self, entry: CacheEntry, configuration: AtomicConfiguration

@@ -1,0 +1,137 @@
+"""Tests for the compiled (vectorized) cache evaluation engines."""
+
+import pytest
+
+from repro.catalog.index import Index
+from repro.inum import InumCacheBuilder, InumCostModel, compile_cache, numpy_available
+from repro.inum import compiled as compiled_module
+from repro.inum.compiled import IndexSetMemo
+from repro.optimizer import Optimizer
+from repro.pinum import PinumCacheBuilder
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def candidates():
+    return [
+        Index("sales", ["s_customer"]),
+        Index("sales", ["s_product"]),
+        Index("sales", ["s_customer", "s_amount", "s_product"]),
+        Index("customers", ["c_id"]),
+        Index("customers", ["c_region", "c_id"]),
+        Index("products", ["p_id"]),
+        Index("products", ["p_category", "p_id", "p_price"]),
+    ]
+
+
+@pytest.fixture
+def cache(small_catalog, join_query, candidates):
+    return InumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+
+
+def _backends():
+    backends = ["python"]
+    if numpy_available():
+        backends.append("numpy")
+    return backends
+
+
+class TestBackendSelection:
+    def test_auto_prefers_numpy_when_available(self, cache):
+        engine = compile_cache(cache, backend="auto")
+        expected = "numpy" if numpy_available() else "python"
+        assert engine.backend == expected
+
+    def test_python_backend_forced(self, cache):
+        assert compile_cache(cache, backend="python").backend == "python"
+
+    def test_unknown_backend_rejected(self, cache):
+        with pytest.raises(PlanningError):
+            compile_cache(cache, backend="fortran")
+
+    def test_auto_degrades_without_numpy(self, cache, monkeypatch):
+        monkeypatch.setattr(compiled_module, "_np", None)
+        assert not compiled_module.numpy_available()
+        assert compile_cache(cache, backend="auto").backend == "python"
+
+    def test_numpy_backend_requires_numpy(self, cache, monkeypatch):
+        monkeypatch.setattr(compiled_module, "_np", None)
+        with pytest.raises(PlanningError):
+            compile_cache(cache, backend="numpy")
+
+
+class TestAgainstScalarModel:
+    @pytest.mark.parametrize("backend", _backends())
+    def test_matches_scalar_on_subsets(self, cache, candidates, backend):
+        scalar = InumCostModel(cache)
+        engine = compile_cache(cache, backend=backend)
+        subsets = [
+            [],
+            candidates[:1],
+            candidates[:3],
+            candidates,
+            [candidates[4], candidates[0], candidates[6]],
+        ]
+        for subset in subsets:
+            expected_cost, expected_entry = scalar.estimate_with_indexes_detail(subset)
+            detail = engine.estimate_detail(subset)
+            assert detail.cost == pytest.approx(expected_cost, rel=1e-9, abs=1e-9)
+            assert detail.entry is expected_entry
+            assert engine.estimate(subset) == detail.cost
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_matches_pinum_cache_too(self, small_catalog, join_query, candidates, backend):
+        cache = PinumCacheBuilder(Optimizer(small_catalog)).build_cache(join_query, candidates)
+        scalar = InumCostModel(cache)
+        engine = compile_cache(cache, backend=backend)
+        for subset in ([], candidates[:2], candidates):
+            assert engine.estimate(subset) == pytest.approx(
+                scalar.estimate_with_indexes(subset), rel=1e-9, abs=1e-9
+            )
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_unknown_indexes_ignored(self, cache, backend):
+        engine = compile_cache(cache, backend=backend)
+        stranger = Index("sales", ["s_quantity", "s_amount"])
+        assert engine.estimate([stranger]) == engine.estimate([])
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_batch_matches_single_evaluations(self, cache, candidates, backend):
+        engine = compile_cache(cache, backend=backend)
+        sets = [[], candidates[:1], candidates[:4], candidates]
+        batch = engine.estimate_batch(sets)
+        assert batch == [engine.estimate(s) for s in sets]
+        assert engine.estimate_batch([]) == []
+
+    @pytest.mark.parametrize("backend", _backends())
+    def test_entry_costs_consistent_with_detail(self, cache, candidates, backend):
+        engine = compile_cache(cache, backend=backend)
+        costs = engine.entry_costs(candidates)
+        detail = engine.estimate_detail(candidates)
+        assert len(costs) == engine.entry_count
+        assert min(costs) == detail.cost
+        assert costs.index(min(costs)) == detail.entry_position
+
+
+class TestIndexSetMemo:
+    def test_builds_once_per_signature(self):
+        calls = []
+
+        def build(indexes):
+            calls.append(list(indexes))
+            return len(indexes)
+
+        memo = IndexSetMemo(build)
+        a, b = Index("sales", ["s_customer"]), Index("sales", ["s_product"])
+        assert memo.get([a, b]) == 2
+        # Same set in a different order (and as distinct objects) hits.
+        assert memo.get([Index("sales", ["s_product"]), Index("sales", ["s_customer"])]) == 2
+        assert len(calls) == 1
+        assert memo.get([a]) == 1
+        assert len(calls) == 2
+
+    def test_overflow_clears_instead_of_growing(self):
+        memo = IndexSetMemo(lambda indexes: len(indexes), max_entries=2)
+        for table in ("sales", "customers", "products"):
+            memo.get([Index(table, ["column"])])
+        assert len(memo) <= 2
