@@ -15,6 +15,10 @@ The package is organised as a layered system:
 * :mod:`repro.pinum` -- the paper's contribution: filling the same cache with
   one or two optimizer calls by harvesting intermediate DP plans.
 * :mod:`repro.advisor` -- a greedy index-selection tool driven by the cache.
+* :mod:`repro.api` -- the service layer: long-lived
+  :class:`~repro.api.session.TuningSession` objects with warm caches and
+  incremental re-tuning, typed request/response messages, plugin registries
+  and the ``repro serve`` JSON frontend.
 * :mod:`repro.workloads` -- the synthetic star-schema workload and a
   TPC-H-like schema used by the paper's motivation section.
 * :mod:`repro.bench` -- experiment harness utilities.
@@ -34,12 +38,24 @@ from repro.inum import (
 )
 from repro.pinum import PinumCacheBuilder, PinumCostModel
 from repro.advisor import IndexAdvisor, AdvisorOptions
+from repro.api import (
+    EvaluateRequest,
+    ExplainRequest,
+    RecommendRequest,
+    TuningSession,
+    WhatIfRequest,
+)
 from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdvisorOptions",
+    "EvaluateRequest",
+    "ExplainRequest",
+    "RecommendRequest",
+    "TuningSession",
+    "WhatIfRequest",
     "AtomicConfiguration",
     "CacheStore",
     "Catalog",

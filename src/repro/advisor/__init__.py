@@ -12,16 +12,19 @@ exactly the trade-off Figures 4 and 6/7 quantify.
 from repro.advisor.advisor import AdvisorOptions, AdvisorResult, IndexAdvisor
 from repro.advisor.benefit import (
     CacheBackedWorkloadCostModel,
+    CostModelRequest,
     IncrementalWorkloadEvaluator,
     OptimizerWorkloadCostModel,
     WorkloadCostModel,
 )
-from repro.advisor.candidates import CandidateGenerator
+from repro.advisor.candidates import DEFAULT_MAX_CANDIDATES, CandidateGenerator
 from repro.advisor.greedy import GreedySelector, SelectionStatistics, SelectionStep
 from repro.advisor.lazy_greedy import LazyGreedySelector
 
 __all__ = [
     "AdvisorOptions",
+    "CostModelRequest",
+    "DEFAULT_MAX_CANDIDATES",
     "AdvisorResult",
     "CacheBackedWorkloadCostModel",
     "CandidateGenerator",

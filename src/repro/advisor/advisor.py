@@ -1,9 +1,16 @@
-"""The index advisor front end: workload in, index recommendation out.
+"""The one-shot index advisor front end: workload in, recommendation out.
 
-Wires together candidate generation, the chosen benefit oracle (PINUM cache,
-INUM cache or raw optimizer) and the greedy selection loop, and reports both
-the recommendation and the bookkeeping the experiments need (per-query costs
-before/after, optimizer calls spent, cache-construction time).
+:class:`IndexAdvisor` is the original single-call facade, kept as a thin
+compatibility layer: every ``recommend()`` now runs through a fresh
+:class:`~repro.api.session.TuningSession` (the long-lived service API), so
+both surfaces share one implementation of candidate generation, cache
+construction and selection.  Long-lived callers -- repeated tuning requests,
+incremental workload changes, warm caches -- should hold a session directly.
+
+Behaviour is selected through the plugin registries of
+:mod:`repro.api.registry`; :class:`AdvisorOptions` validates every name
+*eagerly* at construction time, so a typo fails in milliseconds instead of
+after minutes of cache construction.
 """
 
 from __future__ import annotations
@@ -11,28 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.advisor.benefit import (
-    ENGINES,
-    CacheBackedWorkloadCostModel,
-    OptimizerWorkloadCostModel,
-    WorkloadCostModel,
-)
-from repro.inum.compiled import numpy_available
-from repro.advisor.candidates import CandidateGenerator
-from repro.advisor.greedy import GreedySelector, SelectionStatistics, SelectionStep
-from repro.advisor.lazy_greedy import LazyGreedySelector
+from repro.advisor.greedy import SelectionStep
+from repro.api.registry import CANDIDATE_POLICIES, COST_MODELS, ENGINES, SELECTORS
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
-from repro.inum.serialization import CacheStore
 from repro.optimizer.optimizer import Optimizer
 from repro.query.ast import Query
-from repro.util.errors import AdvisorError
 from repro.util.units import format_bytes, gigabytes
 
 
 @dataclass(frozen=True)
 class AdvisorOptions:
-    """Configuration of one advisor run.
+    """Configuration of one advisor run (and the defaults of a session).
 
     ``space_budget_bytes`` is the disk budget for the suggested indexes (the
     paper uses 5 GB against a 10 GB database).  ``cost_model`` selects the
@@ -42,7 +39,7 @@ class AdvisorOptions:
 
     ``jobs`` fans the cache-backed oracles' per-query cache builds across a
     process pool (needs a picklable ``catalog_factory`` handed to the
-    :class:`IndexAdvisor`).  ``cache_dir`` points at a persistent
+    :class:`IndexAdvisor` or session).  ``cache_dir`` points at a persistent
     :class:`~repro.inum.serialization.CacheStore` directory so caches are
     reused across advisor runs and invalidated when the catalog changes.
 
@@ -52,6 +49,16 @@ class AdvisorOptions:
     ``engine`` picks how cache-backed models evaluate: ``"auto"`` (default,
     compiled arithmetic, vectorized with numpy when installed), ``"numpy"``,
     ``"python"`` or ``"scalar"`` (the original per-slot walk).
+
+    ``candidate_policy`` controls candidate generation: ``"workload"``
+    (default, one workload-wide pool -- the paper's arrangement) or
+    ``"per_query"`` (each query's cache covers only its own candidates,
+    which makes session re-tuning after workload changes incremental).
+
+    All names resolve through the registries of :mod:`repro.api.registry`
+    and are validated here, at options-construction time; unknown names
+    raise :class:`~repro.util.errors.AdvisorError` listing the registered
+    choices.
     """
 
     space_budget_bytes: int = gigabytes(5)
@@ -62,6 +69,16 @@ class AdvisorOptions:
     cache_dir: Optional[str] = None
     selector: str = "lazy"
     engine: str = "auto"
+    candidate_policy: str = "workload"
+
+    def __post_init__(self) -> None:
+        COST_MODELS.validate(self.cost_model)
+        SELECTORS.validate(self.selector)
+        CANDIDATE_POLICIES.validate(self.candidate_policy)
+        # Engines also probe availability eagerly (e.g. engine="numpy"
+        # without numpy installed), before recommend() pays for a whole
+        # cache build only to have the cost model reject it afterwards.
+        ENGINES.get(self.engine).ensure_available()
 
 
 @dataclass
@@ -113,7 +130,7 @@ class AdvisorResult:
 
 
 class IndexAdvisor:
-    """The complete index-selection tool of Section V-E."""
+    """The complete index-selection tool of Section V-E (one-shot facade)."""
 
     def __init__(
         self,
@@ -124,103 +141,31 @@ class IndexAdvisor:
     ) -> None:
         self._catalog = catalog
         self._optimizer = optimizer
+        # AdvisorOptions validates its names in __post_init__, so a default
+        # construction here is already checked.
         self._options = options or AdvisorOptions()
         self._catalog_factory = catalog_factory
-        if self._options.cost_model not in ("pinum", "inum", "optimizer"):
-            raise AdvisorError(
-                f"unknown cost model {self._options.cost_model!r} "
-                "(expected 'pinum', 'inum' or 'optimizer')"
-            )
-        if self._options.selector not in ("lazy", "exhaustive"):
-            raise AdvisorError(
-                f"unknown selector {self._options.selector!r} "
-                "(expected 'lazy' or 'exhaustive')"
-            )
-        # Fail on a bad engine here, before recommend() pays for a whole
-        # cache build only to have the cost model reject it afterwards.
-        if self._options.engine not in ENGINES:
-            raise AdvisorError(
-                f"unknown evaluation engine {self._options.engine!r} "
-                f"(expected one of {ENGINES})"
-            )
-        if self._options.engine == "numpy" and not numpy_available():
-            raise AdvisorError(
-                "the numpy evaluation engine was requested but numpy is not "
-                "installed (pip install 'pinum-repro[perf]')"
-            )
 
     def recommend(
         self,
         workload: Sequence[Query],
         candidates: Optional[Sequence[Index]] = None,
     ) -> AdvisorResult:
-        """Recommend an index set for ``workload`` within the space budget."""
-        if not workload:
-            raise AdvisorError("the workload must contain at least one query")
-        generator = CandidateGenerator(self._catalog)
-        candidate_list = list(candidates) if candidates is not None else generator.for_workload(workload)
-        if self._options.max_candidates is not None:
-            candidate_list = candidate_list[: self._options.max_candidates]
+        """Recommend an index set for ``workload`` within the space budget.
 
-        cost_model = self._build_cost_model(workload, candidate_list)
-        per_query_before = cost_model.per_query_costs([])
-        cost_before = sum(per_query_before.values())
+        Each call runs a fresh single-request
+        :class:`~repro.api.session.TuningSession`, preserving the original
+        one-shot semantics (nothing is kept warm between calls).
+        """
+        # Imported here: the session module builds on this one.
+        from repro.api.requests import RecommendRequest
+        from repro.api.session import TuningSession
 
-        selector_class = (
-            LazyGreedySelector if self._options.selector == "lazy" else GreedySelector
-        )
-        selector = selector_class(
+        session = TuningSession(
             self._catalog,
-            cost_model,
-            self._options.space_budget_bytes,
-            self._options.min_relative_benefit,
-        )
-        steps = selector.select(candidate_list)
-        selection_stats: SelectionStatistics = selector.statistics
-        selected = [step.chosen for step in steps]
-        per_query_after = cost_model.per_query_costs(selected)
-        cost_after = sum(per_query_after.values())
-        total_bytes = sum(self._catalog.index_size_bytes(index) for index in selected)
-
-        return AdvisorResult(
-            selected_indexes=selected,
-            steps=steps,
-            candidate_count=len(candidate_list),
-            workload_cost_before=cost_before,
-            workload_cost_after=cost_after,
-            per_query_cost_before=per_query_before,
-            per_query_cost_after=per_query_after,
-            total_index_bytes=total_bytes,
-            preparation_optimizer_calls=cost_model.preparation_optimizer_calls,
-            preparation_seconds=cost_model.preparation_seconds,
-            selector=self._options.selector,
-            engine=(
-                cost_model.engine_backend
-                if isinstance(cost_model, CacheBackedWorkloadCostModel)
-                else "optimizer"
-            ),
-            selection_seconds=selection_stats.seconds,
-            selection_candidate_evaluations=selection_stats.candidate_evaluations,
-            selection_query_evaluations=selection_stats.query_evaluations,
-        )
-
-    # -- internals ---------------------------------------------------------------
-
-    def _build_cost_model(
-        self, workload: Sequence[Query], candidates: Sequence[Index]
-    ) -> WorkloadCostModel:
-        if self._options.cost_model == "optimizer":
-            return OptimizerWorkloadCostModel(self._optimizer, workload)
-        store = None
-        if self._options.cache_dir is not None:
-            store = CacheStore(self._options.cache_dir, self._catalog)
-        return CacheBackedWorkloadCostModel(
-            self._optimizer,
             workload,
-            candidates,
-            mode=self._options.cost_model,
-            jobs=self._options.jobs,
-            store=store,
+            options=self._options,
+            optimizer=self._optimizer,
             catalog_factory=self._catalog_factory,
-            engine=self._options.engine,
         )
+        return session.recommend(RecommendRequest(candidates=candidates)).result

@@ -24,16 +24,20 @@ Two layers make the selection phase itself workload-scale:
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.api.registry import ENGINES as ENGINE_REGISTRY
+from repro.api.registry import EngineSpec
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.inum.cache import InumCache
 from repro.inum.compiled import CompiledCostEngine, compile_cache, numpy_available
 from repro.inum.cost_estimation import InumCostModel
 from repro.inum.serialization import CacheStore
 from repro.inum.workload_builder import WorkloadBuilderOptions, WorkloadCacheBuilder
 from repro.optimizer.optimizer import Optimizer
-from repro.optimizer.whatif import WhatIfOptimizer
+from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.pinum.cost_model import PinumCostModel
 from repro.query.ast import Query
 from repro.util.errors import AdvisorError
@@ -42,8 +46,26 @@ from repro.util.fingerprint import configuration_signature, query_fingerprint
 #: Evaluation engines accepted by :class:`CacheBackedWorkloadCostModel`:
 #: ``"auto"`` compiles caches and lets :mod:`repro.inum.compiled` pick numpy
 #: or the pure-Python layout, ``"numpy"``/``"python"`` force a compiled
-#: backend, and ``"scalar"`` keeps the original per-slot Python walk.
+#: backend, and ``"scalar"`` keeps the original per-slot Python walk.  The
+#: authoritative list lives in :data:`repro.api.registry.ENGINES`; this tuple
+#: mirrors the built-ins for documentation and back-compat.
 ENGINES = ("auto", "numpy", "python", "scalar")
+
+
+def _numpy_problem() -> Optional[str]:
+    if numpy_available():
+        return None
+    return (
+        "the numpy evaluation engine was requested but numpy is not "
+        "installed (pip install 'pinum-repro[perf]')"
+    )
+
+
+#: Engine specs registered (lazily) in :data:`repro.api.registry.ENGINES`.
+AUTO_ENGINE = EngineSpec("auto", compiled=True)
+NUMPY_ENGINE = EngineSpec("numpy", compiled=True, availability=_numpy_problem)
+PYTHON_ENGINE = EngineSpec("python", compiled=True)
+SCALAR_ENGINE = EngineSpec("scalar", compiled=False)
 
 
 class WorkloadCostModel(abc.ABC):
@@ -160,6 +182,11 @@ class OptimizerWorkloadCostModel(WorkloadCostModel):
     other query unchanged -- so repeated questions are memoized by default.
     Only the scalar cost is retained (not whole plan trees, which a long
     greedy run over a large candidate set would accumulate without bound).
+
+    ``whatif`` optionally substitutes a shared what-if layer (e.g. a
+    session's :class:`~repro.optimizer.whatif.WhatIfCallCache`), and
+    ``cost_memo`` a shared scalar-cost dictionary, so the memoized answers
+    outlive any single model instance.
     """
 
     def __init__(
@@ -167,11 +194,13 @@ class OptimizerWorkloadCostModel(WorkloadCostModel):
         optimizer: Optimizer,
         queries: Sequence[Query],
         memoize: bool = True,
+        whatif: Optional[Union[WhatIfOptimizer, WhatIfCallCache]] = None,
+        cost_memo: Optional[Dict[tuple, float]] = None,
     ) -> None:
         super().__init__(queries)
-        self._whatif = WhatIfOptimizer(optimizer)
+        self._whatif = whatif if whatif is not None else WhatIfOptimizer(optimizer)
         self._memoize = memoize
-        self._cost_memo: Dict[tuple, float] = {}
+        self._cost_memo: Dict[tuple, float] = cost_memo if cost_memo is not None else {}
 
     def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         relevant = [index for index in indexes if index.table in query.tables]
@@ -209,48 +238,114 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         store: Optional[CacheStore] = None,
         catalog_factory: Optional[Callable[[], Catalog]] = None,
         engine: str = "auto",
+        call_cache: Optional[WhatIfCallCache] = None,
+        per_query_candidates: Optional[Dict[str, List[Index]]] = None,
     ) -> None:
         super().__init__(queries)
         if mode not in ("pinum", "inum"):
             raise AdvisorError(f"unknown cache mode {mode!r} (expected 'pinum' or 'inum')")
-        self.mode = mode
         builder = WorkloadCacheBuilder(
             options=WorkloadBuilderOptions(builder=mode, jobs=jobs),
             catalog_factory=catalog_factory,
             store=store,
             optimizer=optimizer,
+            call_cache=call_cache,
         )
-        outcome = builder.build(self.queries, list(candidate_indexes))
+        outcome = builder.build(
+            self.queries, list(candidate_indexes), per_query_candidates=per_query_candidates
+        )
         self.build_report = outcome.report
-        self._caches = outcome.caches
+        self._attach_caches(
+            outcome.caches,
+            mode,
+            engine,
+            outcome.report.optimizer_calls,
+            outcome.report.wall_seconds,
+        )
+
+    @classmethod
+    def from_caches(
+        cls,
+        queries: Sequence[Query],
+        caches: Dict[str, InumCache],
+        mode: str = "pinum",
+        engine: str = "auto",
+        preparation_optimizer_calls: int = 0,
+        preparation_seconds: float = 0.0,
+        engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None,
+        cache_ids: Optional[Dict[str, str]] = None,
+    ) -> "CacheBackedWorkloadCostModel":
+        """A model over already-built caches (the warm session path).
+
+        No builder runs: the caches were constructed (or loaded) elsewhere,
+        e.g. by a :class:`~repro.api.session.TuningSession`'s incremental
+        pool.  ``engine_cache``/``cache_ids`` let the caller share compiled
+        engines across model instances, keyed by a stable cache identity, so
+        a warm re-tune skips recompilation too.
+        """
+        model = cls.__new__(cls)
+        WorkloadCostModel.__init__(model, queries)
+        model.build_report = None
+        model._attach_caches(
+            dict(caches),
+            mode,
+            engine,
+            preparation_optimizer_calls,
+            preparation_seconds,
+            engine_cache=engine_cache,
+            cache_ids=cache_ids,
+        )
+        return model
+
+    def _attach_caches(
+        self,
+        caches: Dict[str, InumCache],
+        mode: str,
+        engine: str,
+        preparation_calls: int,
+        preparation_seconds: float,
+        engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None,
+        cache_ids: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if mode not in ("pinum", "inum"):
+            raise AdvisorError(f"unknown cache mode {mode!r} (expected 'pinum' or 'inum')")
+        self.mode = mode
+        self._caches = caches
         self._models: Dict[str, InumCostModel] = {}
-        for name, cache in outcome.caches.items():
+        for name, cache in caches.items():
             self._models[name] = PinumCostModel(cache) if mode == "pinum" else InumCostModel(cache)
         self._engines: Dict[str, CompiledCostEngine] = {}
+        self._engine_cache = engine_cache
+        self._cache_ids = cache_ids or {}
         self.select_engine(engine)
-        self._calls = outcome.report.optimizer_calls
-        self._seconds = outcome.report.wall_seconds
+        self._calls = preparation_calls
+        self._seconds = preparation_seconds
 
     def select_engine(self, engine: str) -> None:
         """Switch the evaluation engine (compiling caches when needed).
 
-        Compilation is cheap (one pass over each cache), so benchmarks can
-        flip one model between the scalar walk and the compiled backends
-        without rebuilding the caches.
+        Engine names resolve through :data:`repro.api.registry.ENGINES`, so
+        plugins appear here automatically.  Compilation is cheap (one pass
+        over each cache) and results land in the shared engine cache when
+        one was attached, so benchmarks and sessions can flip one model
+        between the scalar walk and the compiled backends without rebuilding
+        caches or recompiling warm ones.
         """
-        if engine not in ENGINES:
-            raise AdvisorError(f"unknown evaluation engine {engine!r} (expected one of {ENGINES})")
-        if engine == "numpy" and not numpy_available():
-            raise AdvisorError(
-                "the numpy evaluation engine was requested but numpy is not "
-                "installed (pip install 'pinum-repro[perf]')"
-            )
-        if engine == "scalar":
+        spec: EngineSpec = ENGINE_REGISTRY.get(engine)
+        spec.ensure_available()
+        if not spec.compiled:
             self._engines = {}
-        else:
-            self._engines = {
-                name: compile_cache(cache, backend=engine) for name, cache in self._caches.items()
-            }
+            return
+        engines: Dict[str, CompiledCostEngine] = {}
+        for name, cache in self._caches.items():
+            key = (self._cache_ids.get(name, name), spec.name)
+            compiled = self._engine_cache.get(key) if self._engine_cache is not None else None
+            if compiled is None:
+                compiled = compile_cache(cache, backend=spec.name)
+                if self._engine_cache is not None:
+                    self._engine_cache[key] = compiled
+            engines[name] = compiled
+        self._engines = engines
 
     @property
     def engine_backend(self) -> str:
@@ -287,3 +382,91 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
     @property
     def preparation_seconds(self) -> float:
         return self._seconds
+
+
+# -- cost-model plugin surface ------------------------------------------------------
+
+
+@dataclass
+class CostModelRequest:
+    """Everything a registered cost-model factory may need to build a model.
+
+    Factories registered in :data:`repro.api.registry.COST_MODELS` receive
+    one of these.  Cache-backed factories (``uses_plan_caches = True``) get
+    ``caches`` pre-warmed by the session (with ``engine_cache``/``cache_ids``
+    for compiled-engine reuse); cold paths build from ``optimizer`` and
+    ``candidates`` themselves, optionally through ``store``/``call_cache``.
+    """
+
+    optimizer: Optimizer
+    queries: Sequence[Query]
+    candidates: Sequence[Index] = ()
+    engine: str = "auto"
+    jobs: int = 1
+    store: Optional[CacheStore] = None
+    catalog_factory: Optional[Callable[[], Catalog]] = None
+    call_cache: Optional[WhatIfCallCache] = None
+    per_query_candidates: Optional[Dict[str, List[Index]]] = None
+    caches: Optional[Dict[str, InumCache]] = None
+    preparation_optimizer_calls: int = 0
+    preparation_seconds: float = 0.0
+    engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None
+    cache_ids: Dict[str, str] = field(default_factory=dict)
+    cost_memo: Optional[Dict[tuple, float]] = None
+
+
+def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostModel:
+    if request.caches is not None:
+        return CacheBackedWorkloadCostModel.from_caches(
+            request.queries,
+            request.caches,
+            mode=mode,
+            engine=request.engine,
+            preparation_optimizer_calls=request.preparation_optimizer_calls,
+            preparation_seconds=request.preparation_seconds,
+            engine_cache=request.engine_cache,
+            cache_ids=request.cache_ids,
+        )
+    return CacheBackedWorkloadCostModel(
+        request.optimizer,
+        request.queries,
+        request.candidates,
+        mode=mode,
+        jobs=request.jobs,
+        store=request.store,
+        catalog_factory=request.catalog_factory,
+        engine=request.engine,
+        call_cache=request.call_cache,
+        per_query_candidates=request.per_query_candidates,
+    )
+
+
+def build_pinum_cost_model(request: CostModelRequest) -> WorkloadCostModel:
+    """The paper's configuration: arithmetic over PINUM-built caches."""
+    return _build_cache_backed(request, "pinum")
+
+
+build_pinum_cost_model.uses_plan_caches = True
+build_pinum_cost_model.cache_builder = "pinum"
+
+
+def build_inum_cost_model(request: CostModelRequest) -> WorkloadCostModel:
+    """The baseline: the same arithmetic over classically-built INUM caches."""
+    return _build_cache_backed(request, "inum")
+
+
+build_inum_cost_model.uses_plan_caches = True
+build_inum_cost_model.cache_builder = "inum"
+
+
+def build_optimizer_cost_model(request: CostModelRequest) -> WorkloadCostModel:
+    """The pre-INUM oracle: one (memoized) optimizer probe per evaluation."""
+    return OptimizerWorkloadCostModel(
+        request.optimizer,
+        request.queries,
+        whatif=request.call_cache,
+        cost_memo=request.cost_memo,
+    )
+
+
+build_optimizer_cost_model.uses_plan_caches = False

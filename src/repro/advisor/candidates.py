@@ -26,6 +26,12 @@ from repro.catalog.index import Index
 from repro.optimizer.interesting_orders import interesting_orders_for
 from repro.query.ast import Query
 
+#: Default cap on the candidate set used by the CLI's ``recommend`` and
+#: ``cache-workload`` subcommands.  One shared constant on purpose: the
+#: persistent cache store fingerprints each cache by its candidate set, so
+#: the two commands only share store entries when they truncate identically.
+DEFAULT_MAX_CANDIDATES = 120
+
 
 class CandidateGenerator:
     """Derive candidate what-if indexes from the workload's query text."""

@@ -145,3 +145,14 @@ class GreedySelector:
         stats.seconds = time.perf_counter() - started
         stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
         return steps
+
+
+def build_exhaustive_selector(
+    catalog: Catalog,
+    cost_model: WorkloadCostModel,
+    space_budget_bytes: int,
+    min_relative_benefit: float = 1e-4,
+) -> GreedySelector:
+    """Factory behind the ``"exhaustive"`` entry of
+    :data:`repro.api.registry.SELECTORS` (the paper's literal loop)."""
+    return GreedySelector(catalog, cost_model, space_budget_bytes, min_relative_benefit)

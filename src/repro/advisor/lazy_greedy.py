@@ -143,3 +143,14 @@ class LazyGreedySelector:
         stats.seconds = time.perf_counter() - started
         stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
         return steps
+
+
+def build_lazy_selector(
+    catalog: Catalog,
+    cost_model: WorkloadCostModel,
+    space_budget_bytes: int,
+    min_relative_benefit: float = 1e-4,
+) -> LazyGreedySelector:
+    """Factory behind the ``"lazy"`` entry of
+    :data:`repro.api.registry.SELECTORS` (same picks, far fewer evaluations)."""
+    return LazyGreedySelector(catalog, cost_model, space_budget_bytes, min_relative_benefit)

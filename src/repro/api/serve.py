@@ -1,0 +1,278 @@
+"""``repro serve``: the tuning service over newline-delimited JSON.
+
+One request per line on stdin, one response per line on stdout -- no network
+dependency, so the frontend composes with anything that can spawn a process
+(an editor plugin, a shell pipeline, a container sidecar):
+
+    $ printf '%s\n' \
+        '{"id": 1, "op": "ping"}' \
+        '{"id": 2, "op": "recommend"}' \
+        '{"id": 3, "op": "shutdown"}' | repro serve --catalog tpch
+
+Requests are ``{"id": ..., "op": ..., "params": {...}}``; ``id`` is echoed
+back so clients can pipeline.  Responses are ``{"id": ..., "ok": true,
+"op": ..., "result": {...}}`` or ``{"id": ..., "ok": false, "error":
+{"type": ..., "message": ...}}``.  A malformed line produces an error
+response (``id: null``), never a crash: the loop only ends on EOF or an
+explicit ``shutdown``.
+
+The frontend drives one long-lived :class:`~repro.api.session.TuningSession`
+per catalog: sessions are created on first use, seeded with the catalog's
+built-in workload, and keep their caches, call cache and compiled engines
+warm across requests -- so the second ``recommend`` against a catalog costs
+selection only.  A request may address a non-default catalog with a
+top-level ``"catalog"`` (and optional ``"seed"``) field.
+
+Operations: ``ping``, ``workload``, ``recommend``, ``evaluate``,
+``what_if``, ``explain``, ``add_queries``, ``remove_queries``,
+``set_budget``, ``stats``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from typing import Any, Dict, IO, Optional, Tuple
+
+from repro.advisor.advisor import AdvisorOptions
+from repro.api.requests import (
+    EvaluateRequest,
+    ExplainRequest,
+    RecommendRequest,
+    WhatIfRequest,
+)
+from repro.api.session import TuningSession
+from repro.query.parser import parse_query
+from repro.util.errors import AdvisorError, ReproError
+from repro.workloads import builtin_catalog_factory
+
+#: Catalogs the frontend can serve (the CLI's built-ins).
+SERVABLE_CATALOGS = ("star", "tpch")
+
+
+def _load_catalog_and_workload(name: str, seed: int):
+    if name == "star":
+        from repro.workloads import StarSchemaWorkload
+
+        workload = StarSchemaWorkload(seed=seed)
+        return workload.catalog(), workload.queries()
+    if name == "tpch":
+        from repro.workloads.tpch_like import (
+            build_tpch_like_catalog,
+            tpch_q5_like_query,
+            tpch_small_join_query,
+        )
+
+        return build_tpch_like_catalog(), [tpch_q5_like_query(), tpch_small_join_query()]
+    raise AdvisorError(
+        f"unknown catalog {name!r} (servable: {', '.join(repr(c) for c in SERVABLE_CATALOGS)})"
+    )
+
+
+class ServeFrontend:
+    """Dispatches JSON requests onto per-catalog :class:`TuningSession`\\ s."""
+
+    def __init__(
+        self,
+        default_catalog: str = "star",
+        seed: int = 7,
+        options: Optional[AdvisorOptions] = None,
+    ) -> None:
+        if default_catalog not in SERVABLE_CATALOGS:
+            raise AdvisorError(
+                f"unknown catalog {default_catalog!r} "
+                f"(servable: {', '.join(repr(c) for c in SERVABLE_CATALOGS)})"
+            )
+        self._default_catalog = default_catalog
+        self._default_seed = seed
+        self._options = options or AdvisorOptions()
+        self._sessions: Dict[Tuple[str, int], TuningSession] = {}
+        self._shutdown = False
+
+    # -- sessions ----------------------------------------------------------
+
+    def session_for(self, catalog: Optional[str] = None, seed: Optional[int] = None) -> TuningSession:
+        """The (lazily created) session serving ``catalog`` at ``seed``.
+
+        New sessions start with the catalog's built-in workload, mirroring
+        the CLI subcommands; ``add_queries``/``remove_queries`` mutate from
+        there.
+        """
+        name = catalog if catalog is not None else self._default_catalog
+        seed_value = seed if seed is not None else self._default_seed
+        key = (name, seed_value)
+        session = self._sessions.get(key)
+        if session is None:
+            catalog_object, workload = _load_catalog_and_workload(name, seed_value)
+            session = TuningSession(
+                catalog_object,
+                workload,
+                options=self._options,
+                catalog_factory=functools.partial(builtin_catalog_factory, name, seed_value),
+            )
+            self._sessions[key] = session
+        return session
+
+    @property
+    def session_count(self) -> int:
+        """How many per-catalog sessions are alive."""
+        return len(self._sessions)
+
+    # -- request handling --------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """One request line in, one response line out (never raises)."""
+        try:
+            payload = json.loads(line)
+        except ValueError as error:
+            return json.dumps(self._error_response(None, None, AdvisorError(
+                f"request is not valid JSON: {error}"
+            )))
+        if not isinstance(payload, dict):
+            return json.dumps(self._error_response(None, None, AdvisorError(
+                "a request must be a JSON object with an 'op' field"
+            )))
+        return json.dumps(self.handle(payload))
+
+    def handle(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one decoded request; returns the response object."""
+        request_id = payload.get("id")
+        op = payload.get("op")
+        try:
+            if not isinstance(op, str):
+                raise AdvisorError("a request must name its operation in the 'op' field")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                known = sorted(
+                    name[len("_op_"):] for name in dir(self) if name.startswith("_op_")
+                )
+                raise AdvisorError(
+                    f"unknown operation {op!r} (known: {', '.join(known)})"
+                )
+            params = payload.get("params") or {}
+            if not isinstance(params, dict):
+                raise AdvisorError("'params' must be a JSON object")
+            result = handler(payload, params)
+            return {"id": request_id, "ok": True, "op": op, "result": result}
+        except ReproError as error:
+            return self._error_response(request_id, op, error)
+        except Exception as error:  # noqa: BLE001 - service loop must not die
+            # Ill-typed params (a string where an int belongs, ...) surface
+            # as TypeError/ValueError/etc. from deep inside the library; a
+            # long-lived service answers them like any other bad request
+            # instead of crashing mid-stream.
+            return self._error_response(request_id, op, error)
+
+    def serve(self, stdin: IO[str], stdout: IO[str]) -> int:
+        """The blocking request loop; returns a process exit code."""
+        for line in stdin:
+            if not line.strip():
+                continue
+            stdout.write(self.handle_line(line) + "\n")
+            stdout.flush()
+            if self._shutdown:
+                break
+        return 0
+
+    # -- operations --------------------------------------------------------
+
+    def _session(self, payload: Dict[str, Any]) -> TuningSession:
+        return self.session_for(payload.get("catalog"), payload.get("seed"))
+
+    def _op_ping(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "sessions": self.session_count}
+
+    def _op_workload(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        return self._session(payload).describe().to_dict()
+
+    def _op_recommend(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        return session.recommend(RecommendRequest.from_dict(params)).to_dict()
+
+    def _op_evaluate(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        return session.evaluate(EvaluateRequest.from_dict(params)).to_dict()
+
+    def _op_what_if(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        return session.what_if(WhatIfRequest.from_dict(params)).to_dict()
+
+    def _op_explain(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        return session.explain(ExplainRequest.from_dict(params)).to_dict()
+
+    def _op_add_queries(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        raw = params.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise AdvisorError(
+                "add_queries needs a non-empty 'queries' list of "
+                "{'sql': ..., 'name': ...} objects"
+            )
+        queries = []
+        taken = set(session.query_names)
+        auto_number = len(taken)
+        for position, entry in enumerate(raw):
+            if not isinstance(entry, dict) or "sql" not in entry:
+                raise AdvisorError(f"query #{position + 1} must be {{'sql': ..., 'name': ...}}")
+            name = entry.get("name")
+            if not name:
+                # Skip names already in use: removals leave gaps, so a plain
+                # size-based counter would collide with survivors.
+                auto_number += 1
+                while f"q{auto_number}" in taken:
+                    auto_number += 1
+                name = f"q{auto_number}"
+            taken.add(name)
+            queries.append(parse_query(entry["sql"], name=name))
+        added = session.add_queries(queries)
+        return {"added": added, "workload_size": len(session.queries)}
+
+    def _op_remove_queries(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        names = params.get("names")
+        if not isinstance(names, list) or not names:
+            raise AdvisorError("remove_queries needs a non-empty 'names' list")
+        removed = session.remove_queries([str(name) for name in names])
+        return {"removed": removed, "workload_size": len(session.queries)}
+
+    def _op_set_budget(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        budget = params.get("space_budget_bytes")
+        if not isinstance(budget, int):
+            raise AdvisorError("set_budget needs an integer 'space_budget_bytes'")
+        session.set_budget(budget)
+        return {"space_budget_bytes": budget}
+
+    def _op_stats(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        statistics = session.statistics
+        whatif = session.call_cache.statistics
+        return {
+            "recommend_calls": statistics.recommend_calls,
+            "caches_built": statistics.caches_built,
+            "caches_from_store": statistics.caches_from_store,
+            "caches_deduplicated": statistics.caches_deduplicated,
+            "caches_reused": statistics.caches_reused,
+            "caches_warm": session.cached_query_count(),
+            "whatif_hits": whatif.hits,
+            "whatif_misses": whatif.misses,
+            "optimizer_calls": session.optimizer.call_count,
+        }
+
+    def _op_shutdown(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        self._shutdown = True
+        return {"shutting_down": True}
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _error_response(
+        request_id: Any, op: Optional[str], error: Exception
+    ) -> Dict[str, Any]:
+        return {
+            "id": request_id,
+            "ok": False,
+            "op": op,
+            "error": {"type": type(error).__name__, "message": str(error)},
+        }

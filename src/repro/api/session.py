@@ -1,0 +1,773 @@
+"""Long-lived tuning sessions: the service-oriented face of the advisor.
+
+The paper's economics are "build the plan caches once, answer many what-if
+and tuning questions with arithmetic" -- but the one-shot
+:class:`~repro.advisor.advisor.IndexAdvisor` re-assembled the world on every
+``recommend()`` call.  A :class:`TuningSession` owns the expensive state for
+its whole lifetime:
+
+* the catalog and one :class:`~repro.optimizer.optimizer.Optimizer`,
+* a memoizing :class:`~repro.optimizer.whatif.WhatIfCallCache` shared by
+  every cache build and what-if probe the session performs,
+* a pool of per-query plan caches keyed by (query fingerprint, builder,
+  candidate-set fingerprint) -- plus the compiled evaluation engines built
+  from them -- reused across requests, and
+* an optional persistent :class:`~repro.inum.serialization.CacheStore` so
+  the pool survives the process.
+
+Requests are typed messages (:mod:`repro.api.requests`): ``recommend``
+re-tunes the current workload, ``evaluate`` prices an index set from the
+warm caches, ``what_if`` asks the real optimizer, ``explain`` plans one
+query.  The workload is mutable -- :meth:`add_queries`,
+:meth:`remove_queries`, :meth:`set_budget` -- and re-tuning after a mutation
+is *incremental*: only queries whose (query, builder, candidate-set) key is
+new get caches built; everything else is answered from the session pool or
+the persistent store, and selection re-runs on the already-compiled engines.
+
+Two candidate policies (pluggable through
+:data:`~repro.api.registry.CANDIDATE_POLICIES`) control the delta behaviour:
+
+* ``"workload"`` -- the one-shot advisor's semantics: one workload-wide
+  candidate pool, each query's cache built for the pool members touching its
+  tables.  Exact CLI compatibility, but adding a query that contributes new
+  candidates on a shared table invalidates its neighbours' caches.
+* ``"per_query"`` -- each query's cache is built for the candidates derived
+  from *that query alone* (the classic INUM arrangement), so workload
+  mutations rebuild exactly the delta.  Selection still runs over the
+  deduplicated union of all per-query candidates; an index unknown to some
+  query's cache simply cannot improve that query, which matches the scalar
+  model's treatment of uncollected access costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.advisor.advisor import AdvisorOptions, AdvisorResult
+from repro.advisor.benefit import CostModelRequest
+from repro.advisor.candidates import CandidateGenerator
+from repro.advisor.greedy import SelectionStatistics
+from repro.api.registry import CACHE_BUILDERS, CANDIDATE_POLICIES, COST_MODELS, SELECTORS
+from repro.api.requests import (
+    UNSET,
+    EvaluateRequest,
+    EvaluateResponse,
+    ExplainRequest,
+    ExplainResponse,
+    RecommendRequest,
+    RecommendResponse,
+    WhatIfRequest,
+    WhatIfResponse,
+    WorkloadResponse,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.index import Index
+from repro.inum.cache import InumCache
+from repro.inum.serialization import CacheStore
+from repro.inum.workload_builder import (
+    WorkloadBuilderOptions,
+    WorkloadBuildResult,
+    WorkloadCacheBuilder,
+    rename_cache,
+)
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.whatif import WhatIfCallCache
+from repro.query.ast import Query
+from repro.util.errors import AdvisorError
+from repro.util.fingerprint import index_set_fingerprint, query_fingerprint
+
+#: Identity of one pooled cache: (query fingerprint, builder, candidate-set
+#: fingerprint).  Everything that can make a cache unusable is in the key, so
+#: pool lookups never return stale caches.
+CacheKey = Tuple[str, str, Optional[str]]
+
+
+# -- candidate policies ------------------------------------------------------------
+
+
+@dataclass
+class CandidatePlan:
+    """What one recommend call selects over and what each cache must cover."""
+
+    #: The candidate set the greedy search runs over, in generation order.
+    pool: List[Index]
+    #: Per query (by name), the candidates its plan cache collects access
+    #: costs for -- the cache's fingerprint identity.
+    per_query: Dict[str, List[Index]]
+
+
+def workload_candidate_policy(
+    generator: CandidateGenerator,
+    queries: Sequence[Query],
+    max_candidates: Optional[int],
+) -> CandidatePlan:
+    """The one-shot advisor's policy: one workload-wide candidate pool.
+
+    Each query's cache covers the pool members touching its tables -- the
+    same filtering :class:`~repro.inum.workload_builder.WorkloadCacheBuilder`
+    applies, so store keys are shared with ``repro cache-workload``.
+    """
+    pool = generator.for_workload(queries)
+    if max_candidates is not None:
+        pool = pool[:max_candidates]
+    per_query = {
+        query.name: [index for index in pool if index.table in query.tables]
+        for query in queries
+    }
+    return CandidatePlan(pool=pool, per_query=per_query)
+
+
+def per_query_candidate_policy(
+    generator: CandidateGenerator,
+    queries: Sequence[Query],
+    max_candidates: Optional[int],
+) -> CandidatePlan:
+    """The delta-friendly policy: each query's cache covers its own candidates.
+
+    A query's candidate set depends only on the query itself, so workload
+    mutations leave every other query's cache key untouched and re-tuning
+    builds exactly the delta.  The selection pool is the deduplicated union
+    in workload order (truncation applies to the pool only, never to the
+    per-query sets, so cache keys stay stable under ``max_candidates``).
+    """
+    per_query = {query.name: generator.for_query(query) for query in queries}
+    pool: List[Index] = []
+    seen = set()
+    for query in queries:
+        for index in per_query[query.name]:
+            if index.key not in seen:
+                seen.add(index.key)
+                pool.append(index)
+    if max_candidates is not None:
+        pool = pool[:max_candidates]
+    return CandidatePlan(pool=pool, per_query=per_query)
+
+
+def explicit_candidate_plan(
+    candidates: Sequence[Index],
+    queries: Sequence[Query],
+    max_candidates: Optional[int],
+) -> CandidatePlan:
+    """Plan for a caller-supplied candidate list (bypasses generation)."""
+    pool = list(candidates)
+    if max_candidates is not None:
+        pool = pool[:max_candidates]
+    per_query = {
+        query.name: [index for index in pool if index.table in query.tables]
+        for query in queries
+    }
+    return CandidatePlan(pool=pool, per_query=per_query)
+
+
+# -- session statistics ------------------------------------------------------------
+
+
+@dataclass
+class SessionStatistics:
+    """Cumulative accounting of one session's cache traffic.
+
+    ``caches_built`` cost fresh optimizer work, ``caches_from_store`` were
+    loaded from the persistent store, ``caches_deduplicated`` shared an
+    identical-SQL sibling's build, and ``caches_reused`` were answered from
+    the session's in-memory pool without touching builder or store.
+    """
+
+    recommend_calls: int = 0
+    caches_built: int = 0
+    caches_from_store: int = 0
+    caches_deduplicated: int = 0
+    caches_reused: int = 0
+
+    def snapshot(self) -> "SessionStatistics":
+        """A copy (for before/after deltas in tests and benchmarks)."""
+        return dataclasses.replace(self)
+
+
+# -- the session -------------------------------------------------------------------
+
+
+class TuningSession:
+    """A long-lived index-tuning service over one catalog.
+
+    ``options`` carries the session defaults (budget, cost model, selector,
+    engine, candidate policy, jobs, cache_dir); individual
+    :class:`~repro.api.requests.RecommendRequest` fields override them per
+    call.  ``catalog_factory`` enables parallel cache builds exactly as for
+    the one-shot advisor.
+    """
+
+    #: Soft cap on pooled plan caches.  When an insert pushes the pool past
+    #: this, entries not referenced by the current request are evicted
+    #: (oldest first) along with their compiled engines, so a long-lived
+    #: serve process cannot grow without bound.
+    DEFAULT_MAX_POOLED_CACHES = 512
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        queries: Sequence[Query] = (),
+        *,
+        options: Optional[AdvisorOptions] = None,
+        optimizer: Optional[Optimizer] = None,
+        catalog_factory: Optional[Callable[[], Catalog]] = None,
+        generator: Optional[CandidateGenerator] = None,
+        max_pooled_caches: int = DEFAULT_MAX_POOLED_CACHES,
+    ) -> None:
+        self._catalog = catalog
+        self._options = options or AdvisorOptions()
+        self._optimizer = optimizer or Optimizer(catalog)
+        self._catalog_factory = catalog_factory
+        self._generator = generator or CandidateGenerator(catalog)
+        self._store = (
+            CacheStore(self._options.cache_dir, catalog)
+            if self._options.cache_dir is not None
+            else None
+        )
+        self._call_cache = WhatIfCallCache(self._optimizer)
+        self._whatif_cost_memo: Dict[tuple, float] = {}
+        self._queries: Dict[str, Query] = {}
+        self._max_pooled_caches = max(1, max_pooled_caches)
+        self._cache_pool: Dict[CacheKey, InumCache] = {}
+        self._engine_pool: Dict[Tuple[str, str], object] = {}
+        self._model = None
+        self._model_signature: Optional[tuple] = None
+        self.statistics = SessionStatistics()
+        if queries:
+            self.add_queries(queries)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The catalog this session tunes against."""
+        return self._catalog
+
+    @property
+    def optimizer(self) -> Optimizer:
+        """The session's optimizer (shared by every request)."""
+        return self._optimizer
+
+    @property
+    def options(self) -> AdvisorOptions:
+        """The session's current default options."""
+        return self._options
+
+    @property
+    def store(self) -> Optional[CacheStore]:
+        """The persistent cache store (``None`` without ``cache_dir``)."""
+        return self._store
+
+    @property
+    def call_cache(self) -> WhatIfCallCache:
+        """The session-lifetime memoizing what-if layer."""
+        return self._call_cache
+
+    @property
+    def queries(self) -> List[Query]:
+        """The current workload, in insertion order."""
+        return list(self._queries.values())
+
+    @property
+    def query_names(self) -> List[str]:
+        """Names of the current workload queries, in insertion order."""
+        return list(self._queries)
+
+    def cached_query_count(self) -> int:
+        """Plan caches currently warm in the session pool."""
+        return len(self._cache_pool)
+
+    def describe(self) -> WorkloadResponse:
+        """The session's workload and tuning state (for ``repro serve``)."""
+        return WorkloadResponse(
+            queries=[
+                {"name": query.name, "sql": query.to_sql()}
+                for query in self._queries.values()
+            ],
+            space_budget_bytes=self._options.space_budget_bytes,
+            caches_warm=len(self._cache_pool),
+        )
+
+    # -- workload mutation -------------------------------------------------
+
+    def add_queries(self, queries: Sequence[Query]) -> List[str]:
+        """Append queries to the workload; returns the added names.
+
+        Names must be unique within the session (the caches, cost models and
+        reports are keyed by name).
+        """
+        incoming = list(queries)
+        # Validate the whole batch before touching the workload, so a
+        # duplicate in the middle never leaves a half-applied mutation.
+        seen: set = set()
+        for query in incoming:
+            if query.name in self._queries or query.name in seen:
+                raise AdvisorError(
+                    f"a query named {query.name!r} is already in the session workload"
+                )
+            seen.add(query.name)
+        for query in incoming:
+            self._queries[query.name] = query
+        if incoming:
+            self._invalidate_model()
+        return [query.name for query in incoming]
+
+    def remove_queries(self, names: Sequence[str]) -> List[str]:
+        """Remove queries by name; returns the removed names.
+
+        The removed queries' caches stay in the session pool, so re-adding a
+        query later is free.
+        """
+        targets = [str(name) for name in names]
+        # Validate the whole batch before touching the workload (atomic, as
+        # for add_queries).
+        for name in targets:
+            if name not in self._queries:
+                raise AdvisorError(
+                    f"no query named {name!r} in the session workload "
+                    f"(current: {', '.join(repr(n) for n in self._queries) or 'empty'})"
+                )
+        for name in targets:
+            del self._queries[name]
+        if targets:
+            self._invalidate_model()
+        return targets
+
+    def set_budget(self, space_budget_bytes: int) -> None:
+        """Change the space budget for subsequent recommends.
+
+        The budget only affects selection, never the caches, so no rebuild
+        happens -- the next :meth:`recommend` re-runs selection on the warm
+        engines.
+        """
+        if space_budget_bytes <= 0:
+            raise AdvisorError(f"space budget must be positive, got {space_budget_bytes}")
+        self._options = dataclasses.replace(
+            self._options, space_budget_bytes=space_budget_bytes
+        )
+
+    # -- requests ----------------------------------------------------------
+
+    def recommend(self, request: Optional[RecommendRequest] = None) -> RecommendResponse:
+        """Recommend an index set for the current workload.
+
+        Cache construction is incremental: only queries without a matching
+        cache in the session pool (or the persistent store) cost optimizer
+        work; selection always re-runs so budget or option changes take
+        effect.
+        """
+        request = request or RecommendRequest()
+        options = self._effective_options(request)
+        workload = self.queries
+        if not workload:
+            raise AdvisorError("the workload must contain at least one query")
+
+        if request.candidates is not None:
+            plan = explicit_candidate_plan(
+                request.candidates, workload, options.max_candidates
+            )
+        else:
+            policy = CANDIDATE_POLICIES.get(options.candidate_policy)
+            plan = policy(self._generator, workload, options.max_candidates)
+
+        before = self.statistics.snapshot()
+        cost_model, preparation_calls, preparation_seconds = self._build_cost_model(
+            workload, plan, options
+        )
+
+        selector_factory = SELECTORS.get(options.selector)
+        selector = selector_factory(
+            self._catalog,
+            cost_model,
+            options.space_budget_bytes,
+            options.min_relative_benefit,
+        )
+        per_query_before = cost_model.per_query_costs([])
+        cost_before = sum(per_query_before.values())
+        steps = selector.select(plan.pool)
+        selection_stats: SelectionStatistics = selector.statistics
+        selected = [step.chosen for step in steps]
+        per_query_after = cost_model.per_query_costs(selected)
+        cost_after = sum(per_query_after.values())
+        total_bytes = sum(self._catalog.index_size_bytes(index) for index in selected)
+
+        result = AdvisorResult(
+            selected_indexes=selected,
+            steps=steps,
+            candidate_count=len(plan.pool),
+            workload_cost_before=cost_before,
+            workload_cost_after=cost_after,
+            per_query_cost_before=per_query_before,
+            per_query_cost_after=per_query_after,
+            total_index_bytes=total_bytes,
+            preparation_optimizer_calls=preparation_calls,
+            preparation_seconds=preparation_seconds,
+            selector=options.selector,
+            engine=getattr(cost_model, "engine_backend", "optimizer"),
+            selection_seconds=selection_stats.seconds,
+            selection_candidate_evaluations=selection_stats.candidate_evaluations,
+            selection_query_evaluations=selection_stats.query_evaluations,
+        )
+        self.statistics.recommend_calls += 1
+        after = self.statistics
+        return RecommendResponse(
+            result=result,
+            candidate_policy=(
+                "explicit" if request.candidates is not None else options.candidate_policy
+            ),
+            caches_built=after.caches_built - before.caches_built,
+            caches_from_store=after.caches_from_store - before.caches_from_store,
+            caches_deduplicated=after.caches_deduplicated - before.caches_deduplicated,
+            caches_reused=after.caches_reused - before.caches_reused,
+        )
+
+    def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
+        """Price the workload under ``request.indexes`` from the warm caches."""
+        workload = self.queries
+        if not workload:
+            raise AdvisorError("the workload must contain at least one query")
+        cost_model = self._current_cost_model(workload)
+        indexes = list(request.indexes)
+        per_query = cost_model.per_query_costs(indexes)
+        return EvaluateResponse(
+            total_cost=sum(per_query.values()),
+            per_query_costs=per_query,
+            total_index_bytes=sum(
+                self._catalog.index_size_bytes(index) for index in indexes
+            ),
+        )
+
+    def what_if(self, request: WhatIfRequest) -> WhatIfResponse:
+        """Ask the optimizer (memoized) what the workload would cost."""
+        workload = self.queries
+        if not workload:
+            raise AdvisorError("the workload must contain at least one query")
+        calls_before = self._optimizer.call_count
+        indexes = list(request.indexes)
+        per_query: Dict[str, float] = {}
+        for query in workload:
+            relevant = [index for index in indexes if index.table in query.tables]
+            per_query[query.name] = self._call_cache.cost_with_configuration(
+                query, relevant, exclusive=True
+            )
+        return WhatIfResponse(
+            total_cost=sum(per_query.values()),
+            per_query_costs=per_query,
+            optimizer_calls=self._optimizer.call_count - calls_before,
+        )
+
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        """Optimize one query (by workload name or ad-hoc SQL) and report the plan."""
+        query = self._resolve_query(request)
+        result = self._optimizer.optimize(
+            query, enable_nestloop=not request.disable_nestloop
+        )
+        return ExplainResponse(
+            query_name=query.name,
+            sql=query.to_sql(),
+            plan=result.plan.explain(),
+            cost=result.cost,
+        )
+
+    # -- cache construction (also the CLI compatibility surface) -----------
+
+    def build_workload_caches(
+        self,
+        builder: str = "pinum",
+        *,
+        jobs: Optional[int] = None,
+        candidates: Optional[Sequence[Index]] = None,
+        max_candidates: object = UNSET,
+        use_call_cache: bool = True,
+    ) -> WorkloadBuildResult:
+        """Build (or load) every workload query's plan cache, reporting sources.
+
+        This is the ``repro cache-workload`` path: the whole workload goes
+        through one :class:`WorkloadCacheBuilder` pass (store consulted,
+        identical SQL deduplicated, ``jobs`` fanning out) and the results
+        are registered in the session pool so a following :meth:`recommend`
+        with the ``"workload"`` policy reuses them without rebuilding.
+        """
+        workload = self.queries
+        if not workload:
+            raise AdvisorError("the workload must contain at least one query")
+        CACHE_BUILDERS.validate(builder)
+        cap = self._options.max_candidates if max_candidates is UNSET else max_candidates
+        if candidates is None:
+            plan = workload_candidate_policy(self._generator, workload, cap)
+        else:
+            plan = explicit_candidate_plan(candidates, workload, cap)
+        per_query = plan.per_query
+        workload_builder = WorkloadCacheBuilder(
+            self._catalog,
+            WorkloadBuilderOptions(
+                builder=builder,
+                jobs=jobs if jobs is not None else self._options.jobs,
+                use_call_cache=use_call_cache,
+            ),
+            catalog_factory=self._catalog_factory,
+            store=self._store,
+            optimizer=self._optimizer,
+            call_cache=self._call_cache if use_call_cache else None,
+        )
+        result = workload_builder.build(workload, per_query_candidates=per_query)
+        active = set()
+        for query in workload:
+            key = self._cache_key(query, builder, per_query[query.name])
+            self._cache_pool[key] = result.caches[query.name]
+            active.add(key)
+        self._prune_pools(active)
+        report = result.report
+        self.statistics.caches_built += report.queries_built
+        self.statistics.caches_from_store += report.queries_from_store
+        self.statistics.caches_deduplicated += report.queries_deduplicated
+        return result
+
+    def build_query_cache(
+        self,
+        query: Query,
+        builder: str = "pinum",
+        *,
+        candidates: Optional[Sequence[Index]] = None,
+        use_call_cache: bool = False,
+    ) -> InumCache:
+        """Build one query's plan cache (the ``repro cache`` path).
+
+        ``query`` need not be part of the session workload; the cache is
+        registered in the session pool either way.  A pool hit returns the
+        warm cache without optimizer work.
+        """
+        CACHE_BUILDERS.validate(builder)
+        if candidates is None:
+            candidates = self._generator.for_query(query)
+        candidate_list = list(candidates)
+        key = self._cache_key(query, builder, candidate_list)
+        cached = self._cache_pool.get(key)
+        if cached is not None:
+            self.statistics.caches_reused += 1
+            return self._attach(cached, query)
+        builder_class = CACHE_BUILDERS.get(builder)
+        instance = builder_class(
+            self._optimizer,
+            None,
+            call_cache=self._call_cache if use_call_cache else None,
+        )
+        cache = instance.build_cache(query, candidate_list)
+        self._cache_pool[key] = cache
+        self._prune_pools({key})
+        if self._store is not None:
+            self._store.save(query, cache, builder, candidate_list)
+        self.statistics.caches_built += 1
+        return cache
+
+    def clear_caches(self) -> int:
+        """Drop every warm cache and compiled engine; returns the cache count."""
+        dropped = len(self._cache_pool)
+        self._cache_pool.clear()
+        self._engine_pool.clear()
+        self._invalidate_model()
+        return dropped
+
+    # -- internals ---------------------------------------------------------
+
+    def _effective_options(self, request: RecommendRequest) -> AdvisorOptions:
+        """Session options with the request's non-default fields applied."""
+        overrides: Dict[str, object] = {}
+        if request.space_budget_bytes is not None:
+            overrides["space_budget_bytes"] = request.space_budget_bytes
+        if request.cost_model is not None:
+            overrides["cost_model"] = request.cost_model
+        if request.selector is not None:
+            overrides["selector"] = request.selector
+        if request.engine is not None:
+            overrides["engine"] = request.engine
+        if request.candidate_policy is not None:
+            overrides["candidate_policy"] = request.candidate_policy
+        if request.max_candidates is not UNSET:
+            overrides["max_candidates"] = request.max_candidates
+        if request.min_relative_benefit is not None:
+            overrides["min_relative_benefit"] = request.min_relative_benefit
+        if not overrides:
+            return self._options
+        # dataclasses.replace re-runs __post_init__, so request overrides get
+        # the same eager name validation as session options.
+        return dataclasses.replace(self._options, **overrides)
+
+    @staticmethod
+    def _cache_key(
+        query: Query, builder: str, candidates: Optional[Sequence[Index]]
+    ) -> CacheKey:
+        return (
+            query_fingerprint(query),
+            builder,
+            index_set_fingerprint(list(candidates) if candidates is not None else None),
+        )
+
+    @staticmethod
+    def _attach(cache: InumCache, query: Query) -> InumCache:
+        """The pooled cache re-attached to ``query``'s name when they differ."""
+        if cache.query.name == query.name:
+            return cache
+        return rename_cache(cache, query)
+
+    def _invalidate_model(self) -> None:
+        self._model = None
+        self._model_signature = None
+
+    def _prune_pools(self, active_keys: set) -> None:
+        """Bound the cache/engine pools, never evicting ``active_keys``."""
+        if len(self._cache_pool) <= self._max_pooled_caches:
+            return
+        for key in list(self._cache_pool):
+            if len(self._cache_pool) <= self._max_pooled_caches:
+                break
+            if key not in active_keys:
+                del self._cache_pool[key]
+        surviving = {
+            ":".join(str(part) for part in key) for key in self._cache_pool
+        }
+        for engine_key in list(self._engine_pool):
+            if engine_key[0] not in surviving:
+                del self._engine_pool[engine_key]
+
+    def _ensure_caches(
+        self,
+        workload: Sequence[Query],
+        plan: CandidatePlan,
+        options: AdvisorOptions,
+        builder: str,
+    ) -> Tuple[Dict[str, InumCache], Dict[str, str], int, float]:
+        """Warm the session pool for ``workload``; returns (caches, ids, calls, secs).
+
+        Only queries whose cache key is missing from the pool are routed
+        through the :class:`WorkloadCacheBuilder` (which itself consults the
+        persistent store before building).  ``ids`` maps query names to
+        stable cache identities for the compiled-engine pool.
+        """
+        keys: Dict[str, CacheKey] = {
+            query.name: self._cache_key(query, builder, plan.per_query[query.name])
+            for query in workload
+        }
+        missing = [query for query in workload if keys[query.name] not in self._cache_pool]
+        self.statistics.caches_reused += len(workload) - len(missing)
+
+        preparation_calls = 0
+        preparation_seconds = 0.0
+        if missing:
+            workload_builder = WorkloadCacheBuilder(
+                self._catalog,
+                WorkloadBuilderOptions(builder=builder, jobs=options.jobs),
+                catalog_factory=self._catalog_factory,
+                store=self._store,
+                optimizer=self._optimizer,
+                call_cache=self._call_cache,
+            )
+            result = workload_builder.build(
+                missing,
+                per_query_candidates={
+                    query.name: plan.per_query[query.name] for query in missing
+                },
+            )
+            for query in missing:
+                self._cache_pool[keys[query.name]] = result.caches[query.name]
+            report = result.report
+            preparation_calls = report.optimizer_calls
+            preparation_seconds = report.wall_seconds
+            self.statistics.caches_built += report.queries_built
+            self.statistics.caches_from_store += report.queries_from_store
+            self.statistics.caches_deduplicated += report.queries_deduplicated
+
+        self._prune_pools(set(keys.values()))
+        caches = {
+            query.name: self._attach(self._cache_pool[keys[query.name]], query)
+            for query in workload
+        }
+        cache_ids = {name: ":".join(str(part) for part in key) for name, key in keys.items()}
+        return caches, cache_ids, preparation_calls, preparation_seconds
+
+    def _build_cost_model(
+        self, workload: Sequence[Query], plan: CandidatePlan, options: AdvisorOptions
+    ):
+        """Resolve and build the cost model, warming caches when it needs them."""
+        factory = COST_MODELS.get(options.cost_model)
+        if getattr(factory, "uses_plan_caches", False):
+            builder = getattr(factory, "cache_builder", options.cost_model)
+            caches, cache_ids, calls, seconds = self._ensure_caches(
+                workload, plan, options, builder
+            )
+            request = CostModelRequest(
+                optimizer=self._optimizer,
+                queries=list(workload),
+                candidates=plan.pool,
+                engine=options.engine,
+                caches=caches,
+                preparation_optimizer_calls=calls,
+                preparation_seconds=seconds,
+                engine_cache=self._engine_pool,
+                cache_ids=cache_ids,
+            )
+        else:
+            calls = 0
+            seconds = 0.0
+            request = CostModelRequest(
+                optimizer=self._optimizer,
+                queries=list(workload),
+                candidates=plan.pool,
+                engine=options.engine,
+                call_cache=self._call_cache,
+                cost_memo=self._whatif_cost_memo,
+            )
+        model = factory(request)
+        self._model = model
+        self._model_signature = self._signature(workload, plan, options)
+        return model, calls, seconds
+
+    def _signature(
+        self, workload: Sequence[Query], plan: CandidatePlan, options: AdvisorOptions
+    ) -> tuple:
+        return (
+            tuple(query.name for query in workload),
+            options.cost_model,
+            options.engine,
+            tuple(
+                self._cache_key(query, options.cost_model, plan.per_query[query.name])
+                for query in workload
+                if query.name in plan.per_query
+            ),
+        )
+
+    def _current_cost_model(self, workload: Sequence[Query]):
+        """A cost model reflecting the session's *configured* view.
+
+        The last-built model is reused only when its full signature --
+        workload, cost model, engine and every per-query cache key -- matches
+        what the session options would build right now; anything else (a
+        previous request's overrides, explicit candidates, a mutated
+        workload) would answer from caches that never collected the right
+        access costs, so the model is rebuilt (warm: the cache pool still
+        serves every unchanged query).
+        """
+        options = self._options
+        policy = CANDIDATE_POLICIES.get(options.candidate_policy)
+        plan = policy(self._generator, workload, options.max_candidates)
+        if self._model is not None and self._model_signature is not None:
+            if self._model_signature == self._signature(workload, plan, options):
+                return self._model
+        model, _, _ = self._build_cost_model(workload, plan, options)
+        return model
+
+    def _resolve_query(self, request: ExplainRequest) -> Query:
+        if (request.query is None) == (request.sql is None):
+            raise AdvisorError("explain needs exactly one of 'query' (a workload name) or 'sql'")
+        if request.query is not None:
+            query = self._queries.get(request.query)
+            if query is None:
+                raise AdvisorError(
+                    f"no query named {request.query!r} in the session workload "
+                    f"(current: {', '.join(repr(n) for n in self._queries) or 'empty'})"
+                )
+            return query
+        from repro.query.parser import parse_query
+
+        return parse_query(request.sql, name="adhoc")

@@ -1,7 +1,9 @@
 """Command-line interface for the PINUM reproduction.
 
-The CLI exposes the library's main workflows over the built-in workload
-catalogs, so experiments can be driven without writing Python:
+The CLI is a thin client of the session API (:mod:`repro.api.session`): each
+subcommand creates a :class:`~repro.api.session.TuningSession` over the
+requested catalog and drives it, so the CLI and library share one
+implementation:
 
 * ``explain``        -- optimize a SQL query and print the plan,
 * ``recommend``      -- run the greedy index advisor over a workload
@@ -14,7 +16,10 @@ catalogs, so experiments can be driven without writing Python:
   through the :class:`~repro.inum.workload_builder.WorkloadCacheBuilder`:
   ``--jobs N`` fans the per-query builds across a process pool, the
   memoizing what-if layer deduplicates identical optimizer probes, and
-  ``--cache-dir`` persists the caches for later runs.
+  ``--cache-dir`` persists the caches for later runs,
+* ``serve``          -- the long-lived tuning service: newline-delimited
+  JSON requests on stdin, responses on stdout, one warm session per catalog
+  (see :mod:`repro.api.serve` for the protocol).
 
 Examples::
 
@@ -25,6 +30,7 @@ Examples::
     python -m repro recommend --catalog star --budget-gb 5 --max-candidates 120
     python -m repro cache --catalog star --query-number 4 --builder pinum
     python -m repro cache-workload --catalog star --jobs 4 --cache-dir .inum-cache
+    echo '{"op": "recommend"}' | python -m repro serve --catalog tpch
 
 The ``--cache-dir`` directory is a versioned
 :class:`~repro.inum.serialization.CacheStore`::
@@ -40,9 +46,10 @@ Changing the schema, refreshing statistics or changing the candidate set
 makes the affected caches stale, so they are rebuilt instead of reused; a
 second run of the *same* command against an unchanged catalog loads every
 cache and spends zero optimizer calls.  ``recommend`` accepts the same
-``--jobs``/``--cache-dir`` flags for its cache-backed cost models; to share
-one store between ``cache-workload`` and ``recommend``, give both the same
-``--max-candidates`` so they fingerprint the same candidate set.
+``--jobs``/``--cache-dir`` flags for its cache-backed cost models;
+``recommend`` and ``cache-workload`` share one ``--max-candidates`` default
+(:data:`~repro.advisor.candidates.DEFAULT_MAX_CANDIDATES`), so with the same
+``--cache-dir`` they hit the same persistent cache keys out of the box.
 """
 
 from __future__ import annotations
@@ -52,13 +59,12 @@ import functools
 import sys
 from typing import List, Optional, Sequence
 
-from repro.advisor import AdvisorOptions, CandidateGenerator, IndexAdvisor
+from repro.advisor import AdvisorOptions, CandidateGenerator
+from repro.advisor.candidates import DEFAULT_MAX_CANDIDATES
+from repro.api.serve import ServeFrontend
+from repro.api.session import TuningSession
 from repro.bench.harness import ExperimentTable
-from repro.inum import InumCacheBuilder
-from repro.inum.serialization import CacheStore, save_cache
-from repro.inum.workload_builder import WorkloadBuilderOptions, WorkloadCacheBuilder
-from repro.optimizer import Optimizer
-from repro.pinum import PinumCacheBuilder
+from repro.inum.serialization import save_cache
 from repro.query import Query, parse_query
 from repro.util.errors import ReproError
 from repro.util.units import format_bytes, gigabytes
@@ -91,31 +97,41 @@ def _read_queries(args: argparse.Namespace, builtin: Sequence[Query]) -> List[Qu
     return list(builtin)
 
 
+def _build_session(args: argparse.Namespace, options: AdvisorOptions) -> TuningSession:
+    """A session over the requested catalog, loaded with the requested queries."""
+    catalog, builtin = _load_catalog(args.catalog, args.seed)
+    queries = _read_queries(args, builtin)
+    return TuningSession(
+        catalog,
+        queries,
+        options=options,
+        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
+    )
+
+
 # -- subcommands ------------------------------------------------------------------
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    catalog, builtin = _load_catalog(args.catalog, args.seed)
-    queries = _read_queries(args, builtin)
-    optimizer = Optimizer(catalog)
-    for query in queries:
-        result = optimizer.optimize(query, enable_nestloop=not args.disable_nestloop)
-        print(f"-- {query.name}")
-        print(query.to_sql())
+    session = _build_session(args, AdvisorOptions())
+    from repro.api.requests import ExplainRequest
+
+    for query in session.queries:
+        response = session.explain(
+            ExplainRequest(query=query.name, disable_nestloop=args.disable_nestloop)
+        )
+        print(f"-- {response.query_name}")
+        print(response.sql)
         print()
-        print(result.plan.explain())
-        print(f"estimated cost: {result.cost:,.2f}")
+        print(response.plan)
+        print(f"estimated cost: {response.cost:,.2f}")
         print()
     return 0
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
-    catalog, builtin = _load_catalog(args.catalog, args.seed)
-    queries = _read_queries(args, builtin)
-    optimizer = Optimizer(catalog)
-    advisor = IndexAdvisor(
-        catalog,
-        optimizer,
+    session = _build_session(
+        args,
         AdvisorOptions(
             space_budget_bytes=gigabytes(args.budget_gb),
             cost_model=args.cost_model,
@@ -124,12 +140,13 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             selector=args.selector,
             engine=args.engine,
+            candidate_policy=args.candidate_policy,
         ),
-        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
     )
-    result = advisor.recommend(queries)
+    queries = session.queries
+    result = session.recommend().result
     print(f"workload          : {len(queries)} queries over catalog {args.catalog!r}")
-    print(f"database size     : {format_bytes(catalog.database_size_bytes())}")
+    print(f"database size     : {format_bytes(session.catalog.database_size_bytes())}")
     print(f"cache preparation : {result.preparation_optimizer_calls} optimizer calls "
           f"({result.preparation_seconds:.2f}s, cost model {args.cost_model!r})")
     print(f"index selection   : {result.selection_candidate_evaluations} candidate / "
@@ -153,21 +170,17 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    catalog, builtin = _load_catalog(args.catalog, args.seed)
-    queries = _read_queries(args, builtin)
-    optimizer = Optimizer(catalog)
-    generator = CandidateGenerator(catalog)
+    session = _build_session(args, AdvisorOptions())
+    generator = CandidateGenerator(session.catalog)
     table = ExperimentTable(
         f"Plan-cache construction ({args.builder})",
         ["query", "IOCs enumerated/kept", "optimizer calls", "cached plans",
          "access costs", "build (ms)"],
     )
-    for query in queries:
-        candidates = generator.for_query(query)
-        if args.builder == "pinum":
-            cache = PinumCacheBuilder(optimizer).build_cache(query, candidates)
-        else:
-            cache = InumCacheBuilder(optimizer).build_cache(query, candidates)
+    for query in session.queries:
+        cache = session.build_query_cache(
+            query, args.builder, candidates=generator.for_query(query)
+        )
         stats = cache.build_stats
         table.add_row(
             query.name, stats.combinations_enumerated, stats.optimizer_calls_total,
@@ -182,25 +195,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_workload(args: argparse.Namespace) -> int:
-    catalog, builtin = _load_catalog(args.catalog, args.seed)
-    queries = _read_queries(args, builtin)
-    generator = CandidateGenerator(catalog)
-    candidates = generator.for_workload(queries)
-    if args.max_candidates is not None:
-        candidates = candidates[: args.max_candidates]
-
-    store = CacheStore(args.cache_dir, catalog) if args.cache_dir else None
-    builder = WorkloadCacheBuilder(
-        catalog,
-        WorkloadBuilderOptions(
-            builder=args.builder,
+    session = _build_session(
+        args,
+        AdvisorOptions(
+            max_candidates=args.max_candidates,
             jobs=args.jobs,
-            use_call_cache=not args.no_call_cache,
+            cache_dir=args.cache_dir,
         ),
-        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
-        store=store,
     )
-    result = builder.build(queries, candidates)
+    queries = session.queries
+    result = session.build_workload_caches(
+        args.builder,
+        jobs=args.jobs,
+        use_call_cache=not args.no_call_cache,
+    )
     report = result.report
 
     table = ExperimentTable(
@@ -231,6 +239,7 @@ def _cmd_cache_workload(args: argparse.Namespace) -> int:
           f"({report.whatif_hit_rate * 100.0:.1f}% of probes)")
     print(f"wall clock      : {report.wall_seconds:.2f}s "
           f"(per-query build time {report.build_seconds:.2f}s)")
+    store = session.store
     if store is not None:
         line = (f"cache store     : {store.catalog_dir} "
                 f"({store.stored_count()} caches, {store.statistics.saves} saved this run")
@@ -238,6 +247,24 @@ def _cmd_cache_workload(args: argparse.Namespace) -> int:
             line += f", {store.statistics.stale_rejections} stale rejected"
         print(line + ")")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    frontend = ServeFrontend(
+        default_catalog=args.catalog,
+        seed=args.seed,
+        options=AdvisorOptions(
+            space_budget_bytes=gigabytes(args.budget_gb),
+            cost_model=args.cost_model,
+            max_candidates=args.max_candidates,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            selector=args.selector,
+            engine=args.engine,
+            candidate_policy=args.candidate_policy,
+        ),
+    )
+    return frontend.serve(sys.stdin, sys.stdout)
 
 
 # -- argument parsing ----------------------------------------------------------------
@@ -260,6 +287,32 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--query-number", type=int,
                          help="pick one query of the built-in workload (1-based)")
 
+    def add_tuning_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--budget-gb", type=float, default=5.0,
+                         help="index space budget in GiB (paper: 5)")
+        sub.add_argument("--cost-model", choices=["pinum", "inum", "optimizer"],
+                         default="pinum", help="benefit oracle for the greedy search")
+        sub.add_argument("--max-candidates", type=int, default=DEFAULT_MAX_CANDIDATES,
+                         help="cap on the candidate-index set (shared default with "
+                              "cache-workload so both hit the same cache-store keys)")
+        sub.add_argument("--jobs", type=int, default=1,
+                         help="process-pool width for the per-query cache builds")
+        sub.add_argument("--cache-dir",
+                         help="persistent cache-store directory reused across runs")
+        sub.add_argument("--selector", choices=["exhaustive", "lazy"], default="lazy",
+                         help="greedy search variant: the paper's exhaustive loop or "
+                              "the CELF-style lazy loop (identical picks, far fewer "
+                              "evaluations)")
+        sub.add_argument("--engine", choices=["auto", "numpy", "python", "scalar"],
+                         default="auto",
+                         help="cache evaluation engine: compiled (numpy-vectorized "
+                              "when available) or the original scalar walk")
+        sub.add_argument("--candidate-policy", choices=["workload", "per_query"],
+                         default="workload",
+                         help="candidate generation: one workload-wide pool (the "
+                              "paper's arrangement) or per-query candidate sets "
+                              "(incremental re-tuning on workload changes)")
+
     explain = subparsers.add_parser("explain", help="optimize a query and print its plan")
     add_common(explain)
     explain.add_argument("--disable-nestloop", action="store_true",
@@ -268,24 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     recommend = subparsers.add_parser("recommend", help="run the greedy index advisor")
     add_common(recommend)
-    recommend.add_argument("--budget-gb", type=float, default=5.0,
-                           help="index space budget in GiB (paper: 5)")
-    recommend.add_argument("--cost-model", choices=["pinum", "inum", "optimizer"],
-                           default="pinum", help="benefit oracle for the greedy search")
-    recommend.add_argument("--max-candidates", type=int, default=120,
-                           help="cap on the candidate-index set")
-    recommend.add_argument("--jobs", type=int, default=1,
-                           help="process-pool width for the per-query cache builds")
-    recommend.add_argument("--cache-dir",
-                           help="persistent cache-store directory reused across runs")
-    recommend.add_argument("--selector", choices=["exhaustive", "lazy"], default="lazy",
-                           help="greedy search variant: the paper's exhaustive loop or "
-                                "the CELF-style lazy loop (identical picks, far fewer "
-                                "evaluations)")
-    recommend.add_argument("--engine", choices=["auto", "numpy", "python", "scalar"],
-                           default="auto",
-                           help="cache evaluation engine: compiled (numpy-vectorized "
-                                "when available) or the original scalar walk")
+    add_tuning_options(recommend)
     recommend.set_defaults(handler=_cmd_recommend)
 
     cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")
@@ -302,9 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(workload)
     workload.add_argument("--builder", choices=["pinum", "inum"], default="pinum",
                           help="which per-query builder fills the caches")
-    workload.add_argument("--max-candidates", type=int,
-                          help="cap on the candidate-index set (match recommend's "
-                               "--max-candidates to share its cache store)")
+    workload.add_argument("--max-candidates", type=int, default=DEFAULT_MAX_CANDIDATES,
+                          help="cap on the candidate-index set (shared default with "
+                               "recommend so both hit the same cache-store keys)")
     workload.add_argument("--jobs", type=int, default=1,
                           help="process-pool width (1 = serial with a shared what-if cache)")
     workload.add_argument("--cache-dir",
@@ -312,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--no-call-cache", action="store_true",
                           help="disable the memoizing what-if layer (baseline behaviour)")
     workload.set_defaults(handler=_cmd_cache_workload)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve tuning requests as newline-delimited JSON over stdin/stdout",
+    )
+    serve.add_argument("--catalog", choices=["star", "tpch"], default="star",
+                       help="default catalog served (requests may name others)")
+    serve.add_argument("--seed", type=int, default=7, help="workload generator seed")
+    add_tuning_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -30,20 +30,22 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api.registry import CACHE_BUILDERS
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.inum.cache import CacheBuildStatistics, InumCache
-from repro.inum.cache_builder import InumBuilderOptions, InumCacheBuilder
+from repro.inum.cache_builder import InumBuilderOptions
 from repro.inum.serialization import CacheStore, cache_from_dict, cache_to_dict
 from repro.optimizer.interesting_orders import combination_count
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
-from repro.pinum.cache_builder import PinumBuilderOptions, PinumCacheBuilder
+from repro.pinum.cache_builder import PinumBuilderOptions
 from repro.query.ast import Query
 from repro.util.errors import ReproError
 from repro.util.fingerprint import query_fingerprint
 
-#: Builders the workload layer can drive.
+#: Built-in per-query builders (the authoritative, extensible list is
+#: :data:`repro.api.registry.CACHE_BUILDERS`).
 BUILDERS = ("pinum", "inum")
 
 
@@ -68,8 +70,10 @@ class WorkloadBuilderOptions:
     pinum_options: Optional[PinumBuilderOptions] = None
 
     def __post_init__(self) -> None:
-        if self.builder not in BUILDERS:
-            raise ReproError(f"unknown builder {self.builder!r} (expected one of {BUILDERS})")
+        # Names resolve through the CACHE_BUILDERS registry, so external
+        # builders registered there are accepted here too; the error lists
+        # the registered choices (AdvisorError is a ReproError).
+        CACHE_BUILDERS.validate(self.builder)
         if self.jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {self.jobs}")
 
@@ -187,6 +191,7 @@ class WorkloadCacheBuilder:
         catalog_factory: Optional[Callable[[], Catalog]] = None,
         store: Optional[CacheStore] = None,
         optimizer: Optional[Optimizer] = None,
+        call_cache: Optional[WhatIfCallCache] = None,
     ) -> None:
         if catalog is None and catalog_factory is None and optimizer is None:
             raise ReproError("WorkloadCacheBuilder needs a catalog or a catalog_factory")
@@ -199,6 +204,11 @@ class WorkloadCacheBuilder:
         #: and call counters stay with the caller); workers always build
         #: their own from the factory.
         self._optimizer = optimizer
+        #: Serial builds route their what-if probes through this cache when
+        #: given (e.g. a session-lifetime cache warmed by earlier builds)
+        #: instead of a fresh per-build one.  Ignored by parallel builds,
+        #: whose workers keep per-process caches.
+        self._call_cache = call_cache
         self.options = options or WorkloadBuilderOptions()
         self.store = store
 
@@ -211,13 +221,18 @@ class WorkloadCacheBuilder:
         self,
         queries: Sequence[Query],
         candidate_indexes: Optional[Sequence[Index]] = None,
+        *,
+        per_query_candidates: Optional[Dict[str, Optional[List[Index]]]] = None,
     ) -> WorkloadBuildResult:
         """Build (or load) one cache per query in ``queries``.
 
         ``candidate_indexes`` is the workload-wide candidate pool; each
         query's build only sees the candidates touching its tables (the same
         filtering the advisor's cost models apply).  ``None`` falls back to
-        the builders' default probe indexes.
+        the builders' default probe indexes.  ``per_query_candidates``
+        overrides that filtering with an explicit per-query-name candidate
+        mapping -- the session API uses this to build each query's cache for
+        exactly the candidate set its cache key was fingerprinted with.
         """
         if not queries:
             raise ReproError("the workload must contain at least one query")
@@ -225,10 +240,19 @@ class WorkloadCacheBuilder:
         opts = self.options
 
         plans = self._plan_queries(list(queries))
-        per_query_candidates = {
-            query.name: self._relevant_candidates(query, candidate_indexes)
-            for query, _ in plans
-        }
+        if per_query_candidates is None:
+            per_query_candidates = {
+                query.name: self._relevant_candidates(query, candidate_indexes)
+                for query, _ in plans
+            }
+        else:
+            missing = [
+                query.name for query, _ in plans if query.name not in per_query_candidates
+            ]
+            if missing:
+                raise ReproError(
+                    f"per_query_candidates is missing entries for: {', '.join(missing)}"
+                )
 
         caches: Dict[str, InumCache] = {}
         outcomes: Dict[str, QueryBuildOutcome] = {}
@@ -269,7 +293,7 @@ class WorkloadCacheBuilder:
         for query, deduped_from in plans:
             if deduped_from is None:
                 continue
-            caches[query.name] = _rename_cache(caches[deduped_from], query)
+            caches[query.name] = rename_cache(caches[deduped_from], query)
             outcomes[query.name] = QueryBuildOutcome(
                 query.name, opts.builder, "deduplicated",
                 CacheBuildStatistics(), deduped_from=deduped_from,
@@ -316,7 +340,11 @@ class WorkloadCacheBuilder:
         per_query_candidates: Dict[str, Optional[List[Index]]],
     ) -> Dict[str, InumCache]:
         optimizer = self._optimizer if self._optimizer is not None else Optimizer(self._catalog)
-        call_cache = WhatIfCallCache(optimizer) if self.options.use_call_cache else None
+        call_cache = None
+        if self.options.use_call_cache:
+            call_cache = (
+                self._call_cache if self._call_cache is not None else WhatIfCallCache(optimizer)
+            )
         return {
             query.name: _build_one_cache(
                 optimizer, call_cache, self.options, query, per_query_candidates[query.name]
@@ -356,11 +384,18 @@ def _build_one_cache(
     query: Query,
     candidates: Optional[Sequence[Index]],
 ) -> InumCache:
-    """Build a single query's cache with the configured per-query builder."""
-    if options.builder == "inum":
-        builder = InumCacheBuilder(optimizer, options.inum_options, call_cache=call_cache)
-        return builder.build_cache(query, candidates)
-    builder = PinumCacheBuilder(optimizer, options.pinum_options, call_cache=call_cache)
+    """Build a single query's cache with the configured per-query builder.
+
+    The builder class resolves through the CACHE_BUILDERS registry; the
+    builtin names get their dedicated option blocks, external builders are
+    constructed with ``options=None``.
+    """
+    builder_class = CACHE_BUILDERS.get(options.builder)
+    builder_options = {
+        "inum": options.inum_options,
+        "pinum": options.pinum_options,
+    }.get(options.builder)
+    builder = builder_class(optimizer, builder_options, call_cache=call_cache)
     return builder.build_cache(query, candidates)
 
 
@@ -397,8 +432,12 @@ def _worker_build(task: Tuple[Query, Optional[List[Index]]]) -> Dict:
     return cache_to_dict(cache)
 
 
-def _rename_cache(cache: InumCache, query: Query) -> InumCache:
-    """A copy of ``cache`` re-attached to ``query`` (identical SQL, other name)."""
+def rename_cache(cache: InumCache, query: Query) -> InumCache:
+    """A copy of ``cache`` re-attached to ``query`` (identical SQL, other name).
+
+    Used for identical-SQL deduplication here and by the session pool when a
+    warm cache is reused under a different query name.
+    """
     payload = cache_to_dict(cache)
     payload["query_name"] = query.name
     return cache_from_dict(payload, query)

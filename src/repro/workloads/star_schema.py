@@ -148,15 +148,24 @@ class StarSchemaWorkload:
 
     # -- queries -------------------------------------------------------------------
 
-    def queries(self) -> List[Query]:
-        """The ten synthetic analytical queries (cached, deterministic)."""
-        if self._queries is None:
+    def queries(self, count: int = 10) -> List[Query]:
+        """``count`` synthetic analytical queries (cached, deterministic).
+
+        The paper uses ten; larger workloads (session/scale experiments) may
+        ask for more.  Every query is derived from an independent RNG
+        sub-stream keyed by its number, so ``queries(15)[:10] ==
+        queries(10)`` -- growing the workload never changes earlier queries.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if self._queries is None or len(self._queries) < count:
             catalog = self.catalog()
             rng = self._rng.derive("queries")
             self._queries = [
-                self._build_query(catalog, rng.derive(f"q{i}"), i) for i in range(1, 11)
+                self._build_query(catalog, rng.derive(f"q{i}"), i)
+                for i in range(1, max(count, 10) + 1)
             ]
-        return self._queries
+        return self._queries[:count]
 
     def _build_query(self, catalog: Catalog, rng: DeterministicRNG, number: int) -> Query:
         # Queries grow from 2-way to 6-way joins as the query number rises.

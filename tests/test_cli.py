@@ -1,9 +1,12 @@
 """Tests for the command-line interface."""
 
+import io
 import json
+from unittest import mock
 
 import pytest
 
+from repro.advisor.candidates import DEFAULT_MAX_CANDIDATES
 from repro.cli import build_parser, main
 
 
@@ -35,6 +38,22 @@ class TestParser:
         assert args.jobs == 4
         assert args.cache_dir == ".inum-cache"
         assert args.builder == "inum"
+
+    def test_recommend_and_cache_workload_share_max_candidates_default(self):
+        # One shared constant on purpose: the cache store fingerprints caches
+        # by candidate set, so differing defaults would give the two commands
+        # disjoint persistent cache keys.
+        recommend = build_parser().parse_args(["recommend"])
+        workload = build_parser().parse_args(["cache-workload"])
+        assert recommend.max_candidates == DEFAULT_MAX_CANDIDATES
+        assert workload.max_candidates == DEFAULT_MAX_CANDIDATES
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--catalog", "tpch"])
+        assert args.command == "serve"
+        assert args.catalog == "tpch"
+        assert args.max_candidates == DEFAULT_MAX_CANDIDATES
+        assert args.candidate_policy == "workload"
 
 
 class TestExplain:
@@ -111,6 +130,18 @@ class TestCache:
         assert "0 built, 2 from store" in warm
         assert "optimizer calls : 0" in warm
 
+    def test_cache_workload_store_is_shared_with_recommend(self, tmp_path, capsys):
+        """With one --cache-dir and the shared default --max-candidates, the
+        caches built by cache-workload are reused verbatim by recommend."""
+        cache_dir = str(tmp_path / "store")
+        assert main(["cache-workload", "--catalog", "tpch", "--cache-dir", cache_dir]) == 0
+        warmup = capsys.readouterr().out
+        assert "2 built, 0 from store" in warmup
+        assert main(["recommend", "--catalog", "tpch", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache preparation : 0 optimizer calls" in out
+        assert "indexes selected" in out
+
     def test_sql_file_input(self, tmp_path, capsys):
         sql_file = tmp_path / "workload.sql"
         sql_file.write_text(
@@ -122,3 +153,20 @@ class TestCache:
         out = capsys.readouterr().out
         assert code == 0
         assert "file_q1" in out and "file_q2" in out
+
+
+class TestServe:
+    def test_serve_answers_requests_over_stdin(self, capsys):
+        stdin = io.StringIO(
+            '{"id": 1, "op": "ping"}\n'
+            '{"id": 2, "op": "workload"}\n'
+            '{"id": 3, "op": "shutdown"}\n'
+        )
+        with mock.patch("sys.stdin", stdin):
+            code = main(["serve", "--catalog", "tpch", "--max-candidates", "20"])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert len(lines) == 3
+        responses = [json.loads(line) for line in lines]
+        assert all(response["ok"] for response in responses)
+        assert responses[1]["result"]["queries"]
