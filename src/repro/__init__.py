@@ -25,7 +25,7 @@ The package is organised as a layered system:
 """
 
 from repro.catalog import Catalog, Column, ColumnType, Index, Table, TableStatistics
-from repro.query import Query, QueryBuilder
+from repro.query import DmlKind, DmlStatement, Query, QueryBuilder, parse_statement
 from repro.optimizer import Optimizer, OptimizerOptions, WhatIfCallCache
 from repro.inum import (
     AtomicConfiguration,
@@ -45,9 +45,9 @@ from repro.api import (
     TuningSession,
     WhatIfRequest,
 )
-from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog
+from repro.workloads import MixedWorkload, StarSchemaWorkload, TpchLikeWorkload, build_tpch_like_catalog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdvisorOptions",
@@ -59,6 +59,8 @@ __all__ = [
     "AtomicConfiguration",
     "CacheStore",
     "Catalog",
+    "DmlKind",
+    "DmlStatement",
     "Column",
     "ColumnType",
     "Index",
@@ -66,6 +68,7 @@ __all__ = [
     "InumCache",
     "InumCacheBuilder",
     "InumCostModel",
+    "MixedWorkload",
     "Optimizer",
     "OptimizerOptions",
     "PinumCacheBuilder",
@@ -73,11 +76,13 @@ __all__ = [
     "Query",
     "QueryBuilder",
     "StarSchemaWorkload",
+    "TpchLikeWorkload",
     "Table",
     "TableStatistics",
     "WhatIfCallCache",
     "WorkloadBuilderOptions",
     "WorkloadCacheBuilder",
     "build_tpch_like_catalog",
+    "parse_statement",
     "__version__",
 ]

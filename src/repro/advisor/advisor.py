@@ -16,8 +16,9 @@ after minutes of cache construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.advisor.benefit import validate_statement_weight
 from repro.advisor.greedy import SelectionStep
 from repro.api.registry import CANDIDATE_POLICIES, COST_MODELS, ENGINES, SELECTORS
 from repro.catalog.catalog import Catalog
@@ -55,6 +56,13 @@ class AdvisorOptions:
     ``"per_query"`` (each query's cache covers only its own candidates,
     which makes session re-tuning after workload changes incremental).
 
+    ``statement_weights`` maps statement names to execution frequencies for
+    mixed read/write workloads (missing names default to 1.0): workload
+    totals and the greedy search's net benefit are weighted sums, so a
+    10x-weighted UPDATE charges 10x the index maintenance.  The mapping is
+    normalised to a sorted tuple of pairs so options stay hashable and
+    comparable.
+
     All names resolve through the registries of :mod:`repro.api.registry`
     and are validated here, at options-construction time; unknown names
     raise :class:`~repro.util.errors.AdvisorError` listing the registered
@@ -70,6 +78,9 @@ class AdvisorOptions:
     selector: str = "lazy"
     engine: str = "auto"
     candidate_policy: str = "workload"
+    statement_weights: Optional[
+        Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
+    ] = None
 
     def __post_init__(self) -> None:
         COST_MODELS.validate(self.cost_model)
@@ -79,6 +90,25 @@ class AdvisorOptions:
         # without numpy installed), before recommend() pays for a whole
         # cache build only to have the cost model reject it afterwards.
         ENGINES.get(self.engine).ensure_available()
+        if self.statement_weights is not None:
+            items = (
+                self.statement_weights.items()
+                if isinstance(self.statement_weights, Mapping)
+                else self.statement_weights
+            )
+            normalised = [
+                (str(name), validate_statement_weight(name, weight))
+                for name, weight in items
+            ]
+            object.__setattr__(
+                self, "statement_weights", tuple(sorted(normalised))
+            )
+
+    def weight_map(self) -> Dict[str, float]:
+        """The statement weights as a plain dict (empty when unset)."""
+        if self.statement_weights is None:
+            return {}
+        return dict(self.statement_weights)
 
 
 @dataclass
@@ -103,6 +133,10 @@ class AdvisorResult:
     selection_seconds: float = 0.0
     selection_candidate_evaluations: int = 0
     selection_query_evaluations: int = 0
+    #: Candidates dropped before selection because their weighted
+    #: index-maintenance cost provably dominates any read benefit (0 for
+    #: pure-read workloads).
+    candidates_pruned_for_writes: int = 0
 
     @property
     def improvement_fraction(self) -> float:
@@ -124,6 +158,11 @@ class AdvisorResult:
             f"{self.selection_candidate_evaluations} candidate evaluations "
             f"({self.selector} selector, {self.engine} engine)",
         ]
+        if self.candidates_pruned_for_writes:
+            lines.append(
+                f"write-dominated       : {self.candidates_pruned_for_writes} "
+                "candidates pruned (maintenance cost exceeds any read benefit)"
+            )
         for index in self.selected_indexes:
             lines.append(f"  - {index.table}({', '.join(index.columns)})")
         return "\n".join(lines)

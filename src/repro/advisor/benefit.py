@@ -24,8 +24,9 @@ Two layers make the selection phase itself workload-scale:
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import ENGINES as ENGINE_REGISTRY
 from repro.api.registry import EngineSpec
@@ -52,6 +53,25 @@ from repro.util.fingerprint import configuration_signature, query_fingerprint
 ENGINES = ("auto", "numpy", "python", "scalar")
 
 
+def validate_statement_weight(name: str, value: object, label: str = "statement weight") -> float:
+    """Coerce one execution-frequency weight, raising on anything unusable.
+
+    The single validation path for weights arriving from options, request
+    payloads or serve clients: numeric, finite, non-negative.
+    """
+    try:
+        weight = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise AdvisorError(
+            f"{label} for {name!r} must be a number, got {value!r}"
+        ) from None
+    if not math.isfinite(weight) or weight < 0.0:
+        raise AdvisorError(
+            f"{label} for {name!r} must be finite and >= 0, got {weight}"
+        )
+    return weight
+
+
 def _numpy_problem() -> Optional[str]:
     if numpy_available():
         return None
@@ -69,18 +89,40 @@ SCALAR_ENGINE = EngineSpec("scalar", compiled=False)
 
 
 class WorkloadCostModel(abc.ABC):
-    """Estimates the total workload cost under a hypothetical index set."""
+    """Estimates the total workload cost under a hypothetical index set.
 
-    def __init__(self, queries: Sequence[Query]) -> None:
+    ``weights`` assigns each statement an execution frequency (default 1.0
+    per statement); workload totals are frequency-weighted sums while
+    per-statement costs stay per-execution.  Mixed read/write workloads use
+    this to express their read/write ratio: the net benefit the greedy
+    search optimizes is ``sum(w_q * cost_q)``, where a DML statement's cost
+    already includes the index set's maintenance charge.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
         if not queries:
             raise AdvisorError("the workload must contain at least one query")
         self.queries = list(queries)
+        self.weights: Dict[str, float] = {query.name: 1.0 for query in self.queries}
+        if weights:
+            for name, weight in weights.items():
+                if name not in self.weights:
+                    continue  # weights may outlive removed statements
+                self.weights[name] = validate_statement_weight(name, weight)
         self._queries_by_table: Dict[str, List[Query]] = {}
         for query in self.queries:
             for table in query.tables:
                 self._queries_by_table.setdefault(table, []).append(query)
         #: Per-query evaluations answered so far (for selection-phase reports).
         self.query_evaluations = 0
+
+    def weight_of(self, name: str) -> float:
+        """The statement's execution-frequency weight (1.0 by default)."""
+        return self.weights.get(name, 1.0)
 
     @abc.abstractmethod
     def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
@@ -100,12 +142,22 @@ class WorkloadCostModel(abc.ABC):
         return self._queries_by_table.get(table, [])
 
     def workload_cost(self, indexes: Sequence[Index]) -> float:
-        """Total cost of the workload under ``indexes``."""
-        return sum(self.query_cost(query, indexes) for query in self.queries)
+        """Total weighted cost of the workload under ``indexes``."""
+        return sum(
+            self.weights[query.name] * self.query_cost(query, indexes)
+            for query in self.queries
+        )
 
     def per_query_costs(self, indexes: Sequence[Index]) -> Dict[str, float]:
-        """Per-query costs under ``indexes`` keyed by query name."""
+        """Per-execution costs under ``indexes`` keyed by statement name."""
         return {query.name: self.query_cost(query, indexes) for query in self.queries}
+
+    def weighted_total(self, per_query_costs: Mapping[str, float]) -> float:
+        """The workload total implied by :meth:`per_query_costs` output."""
+        return sum(
+            self.weights[query.name] * per_query_costs[query.name]
+            for query in self.queries
+        )
 
     @property
     def preparation_optimizer_calls(self) -> int:
@@ -132,6 +184,7 @@ class IncrementalWorkloadEvaluator:
 
     def __init__(self, model: WorkloadCostModel, indexes: Sequence[Index] = ()) -> None:
         self._model = model
+        self._weights = model.weights
         self._costs: Dict[str, float] = {
             query.name: model.query_cost(query, list(indexes)) for query in model.queries
         }
@@ -139,19 +192,20 @@ class IncrementalWorkloadEvaluator:
 
     @property
     def total(self) -> float:
-        """Current workload cost (matches ``workload_cost`` bit-for-bit)."""
-        return sum(self._costs.values())
+        """Current weighted workload cost (matches ``workload_cost`` bit-for-bit)."""
+        return sum(self._weights[name] * cost for name, cost in self._costs.items())
 
     def per_query_costs(self) -> Dict[str, float]:
-        """A copy of the current per-query costs."""
+        """A copy of the current per-query (per-execution) costs."""
         return dict(self._costs)
 
     def cost_with(self, winners: Sequence[Index], candidate: Index) -> float:
-        """Workload cost of ``winners + [candidate]``.
+        """Weighted workload cost of ``winners + [candidate]``.
 
-        Only queries touching ``candidate.table`` are re-evaluated; the new
-        per-query costs are remembered so a following :meth:`commit` of the
-        same candidate is free.
+        Only queries touching ``candidate.table`` are re-evaluated (for a
+        mixed workload that includes the DML statements charged the
+        candidate's maintenance); the new per-query costs are remembered so
+        a following :meth:`commit` of the same candidate is free.
         """
         affected = self._model.queries_touching(candidate.table)
         if not affected:
@@ -160,7 +214,8 @@ class IncrementalWorkloadEvaluator:
         fresh = {query.name: self._model.query_cost(query, extended) for query in affected}
         self._pending[candidate.key] = fresh
         return sum(
-            fresh.get(query.name, self._costs[query.name]) for query in self._model.queries
+            self._weights[query.name] * fresh.get(query.name, self._costs[query.name])
+            for query in self._model.queries
         )
 
     def commit(self, winners: Sequence[Index], candidate: Index) -> None:
@@ -196,8 +251,9 @@ class OptimizerWorkloadCostModel(WorkloadCostModel):
         memoize: bool = True,
         whatif: Optional[Union[WhatIfOptimizer, WhatIfCallCache]] = None,
         cost_memo: Optional[Dict[tuple, float]] = None,
+        weights: Optional[Mapping[str, float]] = None,
     ) -> None:
-        super().__init__(queries)
+        super().__init__(queries, weights=weights)
         self._whatif = whatif if whatif is not None else WhatIfOptimizer(optimizer)
         self._memoize = memoize
         self._cost_memo: Dict[tuple, float] = cost_memo if cost_memo is not None else {}
@@ -205,11 +261,11 @@ class OptimizerWorkloadCostModel(WorkloadCostModel):
     def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         relevant = [index for index in indexes if index.table in query.tables]
         if not self._memoize:
-            return self._whatif.cost_with_configuration(query, relevant, exclusive=True)
+            return self._whatif.statement_cost(query, relevant, exclusive=True)
         key = (query_fingerprint(query), configuration_signature(relevant))
         cost = self._cost_memo.get(key)
         if cost is None:
-            cost = self._whatif.cost_with_configuration(query, relevant, exclusive=True)
+            cost = self._whatif.statement_cost(query, relevant, exclusive=True)
             self._cost_memo[key] = cost
         return cost
 
@@ -240,8 +296,9 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         engine: str = "auto",
         call_cache: Optional[WhatIfCallCache] = None,
         per_query_candidates: Optional[Dict[str, List[Index]]] = None,
+        weights: Optional[Mapping[str, float]] = None,
     ) -> None:
-        super().__init__(queries)
+        super().__init__(queries, weights=weights)
         if mode not in ("pinum", "inum"):
             raise AdvisorError(f"unknown cache mode {mode!r} (expected 'pinum' or 'inum')")
         builder = WorkloadCacheBuilder(
@@ -274,6 +331,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         preparation_seconds: float = 0.0,
         engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None,
         cache_ids: Optional[Dict[str, str]] = None,
+        weights: Optional[Mapping[str, float]] = None,
     ) -> "CacheBackedWorkloadCostModel":
         """A model over already-built caches (the warm session path).
 
@@ -284,7 +342,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         a warm re-tune skips recompilation too.
         """
         model = cls.__new__(cls)
-        WorkloadCostModel.__init__(model, queries)
+        WorkloadCostModel.__init__(model, queries, weights=weights)
         model.build_report = None
         model._attach_caches(
             dict(caches),
@@ -413,6 +471,8 @@ class CostModelRequest:
     engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None
     cache_ids: Dict[str, str] = field(default_factory=dict)
     cost_memo: Optional[Dict[tuple, float]] = None
+    #: Per-statement execution-frequency weights (missing names default 1.0).
+    weights: Optional[Mapping[str, float]] = None
 
 
 def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostModel:
@@ -426,6 +486,7 @@ def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostMod
             preparation_seconds=request.preparation_seconds,
             engine_cache=request.engine_cache,
             cache_ids=request.cache_ids,
+            weights=request.weights,
         )
     return CacheBackedWorkloadCostModel(
         request.optimizer,
@@ -438,6 +499,7 @@ def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostMod
         engine=request.engine,
         call_cache=request.call_cache,
         per_query_candidates=request.per_query_candidates,
+        weights=request.weights,
     )
 
 
@@ -466,6 +528,7 @@ def build_optimizer_cost_model(request: CostModelRequest) -> WorkloadCostModel:
         request.queries,
         whatif=request.call_cache,
         cost_memo=request.cost_memo,
+        weights=request.weights,
     )
 
 

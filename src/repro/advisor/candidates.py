@@ -19,12 +19,13 @@ candidates (1093 in the paper's run).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.optimizer.interesting_orders import interesting_orders_for
-from repro.query.ast import Query
+from repro.optimizer.maintenance import MaintenanceProfile
+from repro.query.ast import DmlStatement, Query, Statement
 
 #: Default cap on the candidate set used by the CLI's ``recommend`` and
 #: ``cache-workload`` subcommands.  One shared constant on purpose: the
@@ -40,8 +41,17 @@ class CandidateGenerator:
         self._catalog = catalog
         self._max_index_columns = max_index_columns
 
-    def for_query(self, query: Query) -> List[Index]:
-        """Candidate indexes useful for a single query."""
+    def for_query(self, query: Statement) -> List[Index]:
+        """Candidate indexes useful for a single statement.
+
+        A DML statement contributes the candidates of its *shadow* query --
+        indexes that speed up locating the rows an UPDATE/DELETE touches.
+        (Whether they survive their own maintenance cost is the selector's
+        call, not the generator's.)  INSERT contributes nothing.
+        """
+        if isinstance(query, DmlStatement):
+            shadow = query.shadow_query()
+            return [] if shadow is None else self.for_query(shadow)
         candidates: Dict[tuple, Index] = {}
         for table in query.tables:
             referenced = query.columns_of(table)
@@ -82,10 +92,59 @@ class CandidateGenerator:
 
     # -- internals --------------------------------------------------------------
 
-    def _register(self, candidates: Dict[tuple, Index], table: str, columns: Iterable[str]) -> None:
+    def _register(self, candidates: Dict[tuple, Index], table: str,
+                  columns: Iterable[str]) -> None:
         columns = list(columns)[: self._max_index_columns]
         if not columns:
             return
         index = Index(table=table, columns=columns, hypothetical=True)
         index.validate_against(self._catalog.table(table))
         candidates.setdefault(index.key, index)
+
+
+def prune_write_dominated(
+    candidates: Sequence[Index],
+    statements: Sequence[Statement],
+    weights: Mapping[str, float],
+    baseline_costs: Mapping[str, float],
+    profiles: Mapping[str, MaintenanceProfile],
+) -> Tuple[List[Index], int]:
+    """Drop candidates whose maintenance cost dominates any possible benefit.
+
+    A candidate index can never save more than the entire weighted baseline
+    cost of the statements reading its table; if the weighted maintenance it
+    would be charged meets or exceeds that bound, the greedy search could
+    never pick it -- its net benefit is provably <= 0 -- so it is pruned
+    before selection instead of being re-evaluated every iteration.  The
+    bound is deliberately loose (sound): pruning never changes the selected
+    set, only the work spent rejecting hopeless candidates.
+
+    ``baseline_costs`` are per-execution statement costs under *no* indexes
+    (the advisor computes them anyway); ``profiles`` maps each DML
+    statement's name to its maintenance profile.  Pure-read workloads have
+    no profiles, charge nothing and prune nothing.
+    """
+    benefit_bound: Dict[str, float] = {}
+    charge_rates: List[Tuple[float, MaintenanceProfile]] = []
+    for statement in statements:
+        weight = weights.get(statement.name, 1.0)
+        for table in statement.tables:
+            benefit_bound[table] = benefit_bound.get(table, 0.0) + (
+                weight * baseline_costs.get(statement.name, 0.0)
+            )
+        profile = profiles.get(statement.name)
+        if profile is not None and isinstance(statement, DmlStatement):
+            charge_rates.append((weight, profile))
+
+    kept: List[Index] = []
+    pruned = 0
+    for candidate in candidates:
+        charge = sum(
+            weight * profile.per_index.get(candidate.key, 0.0)
+            for weight, profile in charge_rates
+        )
+        if charge > 0.0 and charge >= benefit_bound.get(candidate.table, 0.0):
+            pruned += 1
+        else:
+            kept.append(candidate)
+    return kept, pruned

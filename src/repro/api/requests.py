@@ -85,6 +85,9 @@ class RecommendRequest:
     max_candidates: Union[int, None, _Unset] = UNSET
     min_relative_benefit: Optional[float] = None
     candidates: Optional[Sequence[Index]] = None
+    #: Per-statement execution-frequency overrides for this call, merged
+    #: over the session's weights (mixed read/write workloads).
+    statement_weights: Optional[Dict[str, float]] = None
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RecommendRequest":
@@ -92,7 +95,7 @@ class RecommendRequest:
         known = {
             "space_budget_bytes", "cost_model", "selector", "engine",
             "candidate_policy", "max_candidates", "min_relative_benefit",
-            "candidates",
+            "candidates", "statement_weights",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -102,6 +105,12 @@ class RecommendRequest:
         }
         if "candidates" in payload:
             kwargs["candidates"] = [index_from_dict(entry) for entry in payload["candidates"]]
+        weights = kwargs.get("statement_weights")
+        if weights is not None and not isinstance(weights, dict):
+            raise AdvisorError(
+                "'statement_weights' must be an object mapping statement names "
+                "to numeric weights"
+            )
         return cls(**kwargs)
 
 
@@ -195,6 +204,7 @@ class RecommendResponse:
             "candidate_policy": self.candidate_policy,
             "preparation_optimizer_calls": result.preparation_optimizer_calls,
             "selection_candidate_evaluations": result.selection_candidate_evaluations,
+            "candidates_pruned_for_writes": result.candidates_pruned_for_writes,
             "session": {
                 "caches_built": self.caches_built,
                 "caches_from_store": self.caches_from_store,

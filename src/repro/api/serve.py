@@ -25,7 +25,11 @@ top-level ``"catalog"`` (and optional ``"seed"``) field.
 
 Operations: ``ping``, ``workload``, ``recommend``, ``evaluate``,
 ``what_if``, ``explain``, ``add_queries``, ``remove_queries``,
-``set_budget``, ``stats``, ``shutdown``.
+``set_budget``, ``set_weights``, ``stats``, ``shutdown``.  ``add_queries``
+accepts DML statements (INSERT/UPDATE/DELETE) next to SELECT queries, and a
+per-entry ``weight``; ``set_weights`` adjusts statement frequencies so
+``recommend`` optimizes net benefit (read savings minus weighted index
+maintenance).
 """
 
 from __future__ import annotations
@@ -41,8 +45,9 @@ from repro.api.requests import (
     RecommendRequest,
     WhatIfRequest,
 )
+from repro.advisor.benefit import validate_statement_weight
 from repro.api.session import TuningSession
-from repro.query.parser import parse_query
+from repro.query.parser import parse_statement
 from repro.util.errors import AdvisorError, ReproError
 from repro.workloads import builtin_catalog_factory
 
@@ -207,9 +212,10 @@ class ServeFrontend:
         if not isinstance(raw, list) or not raw:
             raise AdvisorError(
                 "add_queries needs a non-empty 'queries' list of "
-                "{'sql': ..., 'name': ...} objects"
+                "{'sql': ..., 'name': ..., 'weight': ...} objects"
             )
         queries = []
+        weights: Dict[str, float] = {}
         taken = set(session.query_names)
         auto_number = len(taken)
         for position, entry in enumerate(raw):
@@ -224,9 +230,31 @@ class ServeFrontend:
                     auto_number += 1
                 name = f"q{auto_number}"
             taken.add(name)
-            queries.append(parse_query(entry["sql"], name=name))
+            # SELECT and INSERT/UPDATE/DELETE alike; mixed workloads are the
+            # whole point of update-aware tuning.
+            queries.append(parse_statement(entry["sql"], name=name))
+            if "weight" in entry:
+                # Validate before the workload is touched, so a bad weight in
+                # the middle of the batch cannot leave statements half-added
+                # (the same atomicity add_queries itself guarantees).
+                weights[name] = validate_statement_weight(name, entry["weight"])
         added = session.add_queries(queries)
+        if weights:
+            session.set_weights(weights)
         return {"added": added, "workload_size": len(session.queries)}
+
+    def _op_set_weights(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(payload)
+        weights = params.get("weights")
+        if not isinstance(weights, dict) or not weights:
+            raise AdvisorError(
+                "set_weights needs a non-empty 'weights' object mapping "
+                "statement names to numeric weights"
+            )
+        effective = session.set_weights(
+            weights, replace=bool(params.get("replace", False))
+        )
+        return {"weights": effective}
 
     def _op_remove_queries(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session(payload)

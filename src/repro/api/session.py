@@ -47,7 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.advisor.advisor import AdvisorOptions, AdvisorResult
 from repro.advisor.benefit import CostModelRequest
-from repro.advisor.candidates import CandidateGenerator
+from repro.advisor.candidates import CandidateGenerator, prune_write_dominated
 from repro.advisor.greedy import SelectionStatistics
 from repro.api.registry import CACHE_BUILDERS, CANDIDATE_POLICIES, COST_MODELS, SELECTORS
 from repro.api.requests import (
@@ -65,6 +65,7 @@ from repro.api.requests import (
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.inum.cache import InumCache
+from repro.inum.dml import build_statement_cache
 from repro.inum.serialization import CacheStore
 from repro.inum.workload_builder import (
     WorkloadBuilderOptions,
@@ -72,9 +73,10 @@ from repro.inum.workload_builder import (
     WorkloadCacheBuilder,
     rename_cache,
 )
+from repro.optimizer.maintenance import build_profiles, profile_for
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
-from repro.query.ast import Query
+from repro.query.ast import DmlStatement, Query, Statement
 from repro.util.errors import AdvisorError
 from repro.util.fingerprint import index_set_fingerprint, query_fingerprint
 
@@ -131,6 +133,13 @@ def per_query_candidate_policy(
     builds exactly the delta.  The selection pool is the deduplicated union
     in workload order (truncation applies to the pool only, never to the
     per-query sets, so cache keys stay stable under ``max_candidates``).
+
+    DML statements participate like everything else: their cache identity
+    is their *shadow* query's own candidates, so workload mutations never
+    churn warm DML caches.  Their maintenance profile -- which must cover
+    every pool candidate on their table, not just their own -- is cheap
+    catalog arithmetic and is recomputed per recommend outside the cache
+    key (see ``TuningSession._apply_maintenance``).
     """
     per_query = {query.name: generator.for_query(query) for query in queries}
     pool: List[Index] = []
@@ -207,7 +216,7 @@ class TuningSession:
     def __init__(
         self,
         catalog: Catalog,
-        queries: Sequence[Query] = (),
+        queries: Sequence[Statement] = (),
         *,
         options: Optional[AdvisorOptions] = None,
         optimizer: Optional[Optimizer] = None,
@@ -227,7 +236,7 @@ class TuningSession:
         )
         self._call_cache = WhatIfCallCache(self._optimizer)
         self._whatif_cost_memo: Dict[tuple, float] = {}
-        self._queries: Dict[str, Query] = {}
+        self._queries: Dict[str, Statement] = {}
         self._max_pooled_caches = max(1, max_pooled_caches)
         self._cache_pool: Dict[CacheKey, InumCache] = {}
         self._engine_pool: Dict[Tuple[str, str], object] = {}
@@ -265,7 +274,7 @@ class TuningSession:
         return self._call_cache
 
     @property
-    def queries(self) -> List[Query]:
+    def queries(self) -> List[Statement]:
         """The current workload, in insertion order."""
         return list(self._queries.values())
 
@@ -280,9 +289,15 @@ class TuningSession:
 
     def describe(self) -> WorkloadResponse:
         """The session's workload and tuning state (for ``repro serve``)."""
+        weights = self._options.weight_map()
         return WorkloadResponse(
             queries=[
-                {"name": query.name, "sql": query.to_sql()}
+                {
+                    "name": query.name,
+                    "sql": query.to_sql(),
+                    "kind": query.kind.value if query.is_dml else "select",
+                    "weight": weights.get(query.name, 1.0),
+                }
                 for query in self._queries.values()
             ],
             space_budget_bytes=self._options.space_budget_bytes,
@@ -291,8 +306,8 @@ class TuningSession:
 
     # -- workload mutation -------------------------------------------------
 
-    def add_queries(self, queries: Sequence[Query]) -> List[str]:
-        """Append queries to the workload; returns the added names.
+    def add_queries(self, queries: Sequence[Statement]) -> List[str]:
+        """Append statements (queries or DML) to the workload; returns the names.
 
         Names must be unique within the session (the caches, cost models and
         reports are keyed by name).
@@ -330,6 +345,15 @@ class TuningSession:
                 )
         for name in targets:
             del self._queries[name]
+        # Weights die with their statement: a future statement re-using the
+        # name must not silently inherit the old frequency.
+        weights = self._options.weight_map()
+        if any(name in weights for name in targets):
+            for name in targets:
+                weights.pop(name, None)
+            self._options = dataclasses.replace(
+                self._options, statement_weights=weights or None
+            )
         if targets:
             self._invalidate_model()
         return targets
@@ -346,6 +370,30 @@ class TuningSession:
         self._options = dataclasses.replace(
             self._options, space_budget_bytes=space_budget_bytes
         )
+
+    def set_weights(self, weights: Dict[str, float], replace: bool = False) -> Dict[str, float]:
+        """Merge per-statement execution-frequency weights into the session.
+
+        Names must belong to the current workload (mirroring
+        :meth:`remove_queries`); values must be >= 0.  ``replace=True``
+        discards previously set weights first.  Weights only affect how
+        selection sums statement costs, never the caches, so the next
+        :meth:`recommend` re-tunes on warm state.  Returns the effective
+        weight mapping.
+        """
+        for name in weights:
+            if name not in self._queries:
+                raise AdvisorError(
+                    f"no statement named {name!r} in the session workload "
+                    f"(current: {', '.join(repr(n) for n in self._queries) or 'empty'})"
+                )
+        merged = {} if replace else self._options.weight_map()
+        merged.update({str(name): weight for name, weight in weights.items()})
+        # dataclasses.replace re-runs __post_init__, which validates values.
+        self._options = dataclasses.replace(
+            self._options, statement_weights=merged or None
+        )
+        return self._options.weight_map()
 
     # -- requests ----------------------------------------------------------
 
@@ -384,12 +432,15 @@ class TuningSession:
             options.min_relative_benefit,
         )
         per_query_before = cost_model.per_query_costs([])
-        cost_before = sum(per_query_before.values())
-        steps = selector.select(plan.pool)
+        cost_before = cost_model.weighted_total(per_query_before)
+        pool, pruned_for_writes = self._prune_candidates(
+            workload, plan.pool, cost_model, per_query_before
+        )
+        steps = selector.select(pool)
         selection_stats: SelectionStatistics = selector.statistics
         selected = [step.chosen for step in steps]
         per_query_after = cost_model.per_query_costs(selected)
-        cost_after = sum(per_query_after.values())
+        cost_after = cost_model.weighted_total(per_query_after)
         total_bytes = sum(self._catalog.index_size_bytes(index) for index in selected)
 
         result = AdvisorResult(
@@ -408,6 +459,7 @@ class TuningSession:
             selection_seconds=selection_stats.seconds,
             selection_candidate_evaluations=selection_stats.candidate_evaluations,
             selection_query_evaluations=selection_stats.query_evaluations,
+            candidates_pruned_for_writes=pruned_for_writes,
         )
         self.statistics.recommend_calls += 1
         after = self.statistics
@@ -423,7 +475,16 @@ class TuningSession:
         )
 
     def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
-        """Price the workload under ``request.indexes`` from the warm caches."""
+        """Price the workload under ``request.indexes`` from the warm caches.
+
+        The total is weighted by the session's statement weights; per-query
+        costs stay per-execution.  DML statements answer from their
+        maintenance-carrying caches, so *candidate* indexes are charged
+        their write cost exactly as during selection.  An index outside the
+        candidate set has no maintenance column (nor collected access
+        costs) and contributes zero on both sides -- use :meth:`what_if`
+        to price an ad-hoc index exactly.
+        """
         workload = self.queries
         if not workload:
             raise AdvisorError("the workload must contain at least one query")
@@ -431,7 +492,7 @@ class TuningSession:
         indexes = list(request.indexes)
         per_query = cost_model.per_query_costs(indexes)
         return EvaluateResponse(
-            total_cost=sum(per_query.values()),
+            total_cost=cost_model.weighted_total(per_query),
             per_query_costs=per_query,
             total_index_bytes=sum(
                 self._catalog.index_size_bytes(index) for index in indexes
@@ -439,33 +500,55 @@ class TuningSession:
         )
 
     def what_if(self, request: WhatIfRequest) -> WhatIfResponse:
-        """Ask the optimizer (memoized) what the workload would cost."""
+        """Ask the optimizer (memoized) what the workload would cost.
+
+        DML statements are priced as shadow read phase (a real optimizer
+        probe) plus heap and index maintenance from the memoized
+        maintenance model; the total applies the session's statement
+        weights.
+        """
         workload = self.queries
         if not workload:
             raise AdvisorError("the workload must contain at least one query")
         calls_before = self._optimizer.call_count
+        weights = self._options.weight_map()
         indexes = list(request.indexes)
         per_query: Dict[str, float] = {}
         for query in workload:
             relevant = [index for index in indexes if index.table in query.tables]
-            per_query[query.name] = self._call_cache.cost_with_configuration(
+            per_query[query.name] = self._call_cache.statement_cost(
                 query, relevant, exclusive=True
             )
         return WhatIfResponse(
-            total_cost=sum(per_query.values()),
+            total_cost=sum(
+                weights.get(query.name, 1.0) * per_query[query.name]
+                for query in workload
+            ),
             per_query_costs=per_query,
             optimizer_calls=self._optimizer.call_count - calls_before,
         )
 
     def explain(self, request: ExplainRequest) -> ExplainResponse:
-        """Optimize one query (by workload name or ad-hoc SQL) and report the plan."""
-        query = self._resolve_query(request)
+        """Optimize one query (by workload name or ad-hoc SQL) and report the plan.
+
+        A DML statement explains its shadow read phase (how the affected
+        rows are located); INSERT has no plan to explain and errors.
+        """
+        statement = self._resolve_query(request)
+        query = statement
+        if isinstance(statement, DmlStatement):
+            query = statement.shadow_query()
+            if query is None:
+                raise AdvisorError(
+                    f"statement {statement.name!r} ({statement.kind.value.upper()}) has "
+                    "no read phase to explain"
+                )
         result = self._optimizer.optimize(
             query, enable_nestloop=not request.disable_nestloop
         )
         return ExplainResponse(
-            query_name=query.name,
-            sql=query.to_sql(),
+            query_name=statement.name,
+            sql=statement.to_sql(),
             plan=result.plan.explain(),
             cost=result.cost,
         )
@@ -553,7 +636,16 @@ class TuningSession:
             None,
             call_cache=self._call_cache if use_call_cache else None,
         )
-        cache = instance.build_cache(query, candidate_list)
+        if isinstance(query, DmlStatement):
+            cache = build_statement_cache(
+                query,
+                candidate_list,
+                self._catalog,
+                instance.build_cache,
+                whatif=self._call_cache if use_call_cache else None,
+            )
+        else:
+            cache = instance.build_cache(query, candidate_list)
         self._cache_pool[key] = cache
         self._prune_pools({key})
         if self._store is not None:
@@ -570,6 +662,22 @@ class TuningSession:
         return dropped
 
     # -- internals ---------------------------------------------------------
+
+    def _prune_candidates(
+        self,
+        workload: Sequence[Query],
+        pool: List[Index],
+        cost_model,
+        baseline_costs: Dict[str, float],
+    ) -> Tuple[List[Index], int]:
+        """Drop write-dominated candidates before selection (no-op read-only)."""
+        dml = [statement for statement in workload if statement.is_dml]
+        if not dml:
+            return pool, 0
+        profiles = build_profiles(self._catalog, dml, pool, whatif=self._call_cache)
+        return prune_write_dominated(
+            pool, workload, cost_model.weights, baseline_costs, profiles
+        )
 
     def _effective_options(self, request: RecommendRequest) -> AdvisorOptions:
         """Session options with the request's non-default fields applied."""
@@ -588,6 +696,18 @@ class TuningSession:
             overrides["max_candidates"] = request.max_candidates
         if request.min_relative_benefit is not None:
             overrides["min_relative_benefit"] = request.min_relative_benefit
+        if request.statement_weights is not None:
+            # Same validation set_weights applies: a typo'd name must fail
+            # loudly, not silently price the workload without the weight.
+            for name in request.statement_weights:
+                if name not in self._queries:
+                    raise AdvisorError(
+                        f"no statement named {name!r} in the session workload "
+                        f"(current: {', '.join(repr(n) for n in self._queries) or 'empty'})"
+                    )
+            merged = self._options.weight_map()
+            merged.update(request.statement_weights)
+            overrides["statement_weights"] = merged or None
         if not overrides:
             return self._options
         # dataclasses.replace re-runs __post_init__, so request overrides get
@@ -628,7 +748,11 @@ class TuningSession:
             ":".join(str(part) for part in key) for key in self._cache_pool
         }
         for engine_key in list(self._engine_pool):
-            if engine_key[0] not in surviving:
+            # DML engine ids carry a '|maint:<digest>' suffix on top of the
+            # cache id (see _apply_maintenance); they survive with their
+            # cache.
+            base_id = engine_key[0].split("|maint:", 1)[0]
+            if base_id not in surviving:
                 del self._engine_pool[engine_key]
 
     def _ensure_caches(
@@ -686,6 +810,42 @@ class TuningSession:
         cache_ids = {name: ":".join(str(part) for part in key) for name, key in keys.items()}
         return caches, cache_ids, preparation_calls, preparation_seconds
 
+    def _apply_maintenance(
+        self,
+        workload: Sequence[Query],
+        plan: CandidatePlan,
+        caches: Dict[str, InumCache],
+        cache_ids: Dict[str, str],
+    ) -> None:
+        """Refresh each DML cache's maintenance profile over the *pool*.
+
+        A DML statement must charge maintenance for every pool candidate on
+        its table -- any of them may be selected -- but baking that set
+        into the cache identity would rebuild warm DML caches on every pool
+        perturbation.  Profiles are cheap catalog arithmetic (memoized by
+        the session's what-if layer), so they are recomputed here, outside
+        the cache key; the profile digest is folded into the compiled-
+        engine id instead, so engines compiled for an older pool are never
+        reused with stale maintenance columns.
+        """
+        for statement in workload:
+            if not statement.is_dml:
+                continue
+            profile = profile_for(
+                statement, plan.pool, self._catalog, self._call_cache
+            )
+            caches[statement.name].maintenance = profile
+            base_id = cache_ids[statement.name]
+            new_id = f"{base_id}|maint:{profile.digest()}"
+            cache_ids[statement.name] = new_id
+            # Engines compiled for an earlier pool's profile can never be
+            # asked for again (their id embeds the old digest); drop them so
+            # a long-lived session's engine pool stays one-per-cache.
+            prefix = f"{base_id}|maint:"
+            for engine_key in list(self._engine_pool):
+                if engine_key[0].startswith(prefix) and engine_key[0] != new_id:
+                    del self._engine_pool[engine_key]
+
     def _build_cost_model(
         self, workload: Sequence[Query], plan: CandidatePlan, options: AdvisorOptions
     ):
@@ -696,6 +856,7 @@ class TuningSession:
             caches, cache_ids, calls, seconds = self._ensure_caches(
                 workload, plan, options, builder
             )
+            self._apply_maintenance(workload, plan, caches, cache_ids)
             request = CostModelRequest(
                 optimizer=self._optimizer,
                 queries=list(workload),
@@ -706,6 +867,7 @@ class TuningSession:
                 preparation_seconds=seconds,
                 engine_cache=self._engine_pool,
                 cache_ids=cache_ids,
+                weights=options.weight_map(),
             )
         else:
             calls = 0
@@ -717,6 +879,7 @@ class TuningSession:
                 engine=options.engine,
                 call_cache=self._call_cache,
                 cost_memo=self._whatif_cost_memo,
+                weights=options.weight_map(),
             )
         model = factory(request)
         self._model = model
@@ -730,6 +893,12 @@ class TuningSession:
             tuple(query.name for query in workload),
             options.cost_model,
             options.engine,
+            options.statement_weights,
+            # The pool itself is part of the model's identity: DML
+            # maintenance profiles are computed over it, so a model built
+            # under a request's pool override must not answer for the
+            # session's configured pool.
+            index_set_fingerprint(plan.pool),
             tuple(
                 self._cache_key(query, options.cost_model, plan.per_query[query.name])
                 for query in workload
@@ -768,6 +937,6 @@ class TuningSession:
                     f"(current: {', '.join(repr(n) for n in self._queries) or 'empty'})"
                 )
             return query
-        from repro.query.parser import parse_query
+        from repro.query.parser import parse_statement
 
-        return parse_query(request.sql, name="adhoc")
+        return parse_statement(request.sql, name="adhoc")

@@ -65,7 +65,7 @@ from repro.api.serve import ServeFrontend
 from repro.api.session import TuningSession
 from repro.bench.harness import ExperimentTable
 from repro.inum.serialization import save_cache
-from repro.query import Query, parse_query
+from repro.query import Query, parse_statement
 from repro.util.errors import ReproError
 from repro.util.units import format_bytes, gigabytes
 from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog, builtin_catalog_factory
@@ -84,17 +84,41 @@ def _load_catalog(name: str, seed: int) -> tuple:
 
 
 def _read_queries(args: argparse.Namespace, builtin: Sequence[Query]) -> List[Query]:
-    """Queries from --sql/--sql-file, falling back to the built-in workload."""
+    """Statements from --sql/--sql-file, falling back to the built-in workload.
+
+    Both flags accept DML (INSERT/UPDATE/DELETE) next to SELECT, so a
+    ';'-separated file can describe a whole mixed read/write workload.
+    """
     if getattr(args, "sql", None):
-        return [parse_query(args.sql, name="cli_query")]
+        return [parse_statement(args.sql, name="cli_query")]
     if getattr(args, "sql_file", None):
         with open(args.sql_file, "r", encoding="utf-8") as handle:
             text = handle.read()
         statements = [stmt.strip() for stmt in text.split(";") if stmt.strip()]
-        return [parse_query(stmt, name=f"file_q{i + 1}") for i, stmt in enumerate(statements)]
+        return [parse_statement(stmt, name=f"file_q{i + 1}") for i, stmt in enumerate(statements)]
     if getattr(args, "query_number", None):
         return [builtin[args.query_number - 1]]
     return list(builtin)
+
+
+def _parse_weights(pairs: Optional[Sequence[str]]) -> Optional[dict]:
+    """``--weight name=2.0`` occurrences into a statement-weight mapping."""
+    if not pairs:
+        return None
+    weights = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise ReproError(
+                f"--weight expects NAME=WEIGHT, got {pair!r}"
+            )
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"--weight {pair!r}: weight must be a number"
+            ) from None
+    return weights
 
 
 def _build_session(args: argparse.Namespace, options: AdvisorOptions) -> TuningSession:
@@ -130,6 +154,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
+    weights = _parse_weights(args.weight)
     session = _build_session(
         args,
         AdvisorOptions(
@@ -141,9 +166,19 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             selector=args.selector,
             engine=args.engine,
             candidate_policy=args.candidate_policy,
+            statement_weights=weights,
         ),
     )
     queries = session.queries
+    if weights:
+        # The workload is fully known here, so a typo'd --weight name must
+        # fail loudly instead of silently pricing the workload without it.
+        unknown = sorted(set(weights) - {query.name for query in queries})
+        if unknown:
+            raise ReproError(
+                f"--weight names unknown statements: {', '.join(unknown)} "
+                f"(workload: {', '.join(query.name for query in queries)})"
+            )
     result = session.recommend().result
     print(f"workload          : {len(queries)} queries over catalog {args.catalog!r}")
     print(f"database size     : {format_bytes(session.catalog.database_size_bytes())}")
@@ -262,6 +297,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             selector=args.selector,
             engine=args.engine,
             candidate_policy=args.candidate_policy,
+            statement_weights=_parse_weights(args.weight),
         ),
     )
     return frontend.serve(sys.stdin, sys.stdout)
@@ -312,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="candidate generation: one workload-wide pool (the "
                               "paper's arrangement) or per-query candidate sets "
                               "(incremental re-tuning on workload changes)")
+        sub.add_argument("--weight", action="append", metavar="NAME=WEIGHT",
+                         help="execution-frequency weight for one statement "
+                              "(repeatable); mixed read/write workloads use this "
+                              "to scale index-maintenance charges")
 
     explain = subparsers.add_parser("explain", help="optimize a query and print its plan")
     add_common(explain)

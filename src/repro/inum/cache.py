@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.inum.access_costs import AccessCostTable
 from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.optimizer.maintenance import MaintenanceProfile
 from repro.optimizer.plan import PlanNode, PlanSummary
 from repro.query.ast import Query
 from repro.util.errors import PlanningError
@@ -140,13 +141,23 @@ class CacheBuildStatistics:
         return self.whatif_cache_hits / self.whatif_requests
 
 class InumCache:
-    """The per-query plan cache."""
+    """The per-statement plan cache.
+
+    ``query`` is usually a SELECT :class:`~repro.query.ast.Query`; for a DML
+    statement it is the statement itself (the entries then describe the
+    statement's *shadow* read phase) and ``maintenance`` carries the
+    per-candidate-index maintenance-cost columns the evaluation engines add
+    on top of the read estimate.  Pure-read caches keep ``maintenance`` as
+    ``None`` and behave exactly as before.
+    """
 
     def __init__(self, query: Query) -> None:
         self.query = query
         self.entries: List[CacheEntry] = []
         self.access_costs = AccessCostTable()
         self.build_stats = CacheBuildStatistics()
+        #: Per-index write costs for DML statements (None for read caches).
+        self.maintenance: Optional[MaintenanceProfile] = None
         self._by_ioc: Dict[InterestingOrderCombination, CacheEntry] = {}
 
     # -- population -------------------------------------------------------------

@@ -184,7 +184,16 @@ class _CompiledLayout:
 
 
 class CompiledCostEngine:
-    """Common surface of the compiled backends."""
+    """Common surface of the compiled backends.
+
+    When the compiled cache belongs to a DML statement it carries a
+    :class:`~repro.optimizer.maintenance.MaintenanceProfile`; every
+    evaluation then adds the index set's maintenance cost (heap base plus
+    per-index write cost) on top of the read estimate.  The addition is the
+    same plain-Python arithmetic in both backends -- it is per-index-set,
+    not per-entry, so there is nothing to vectorize -- which keeps the
+    numpy, python and scalar answers bit-identical on the write side.
+    """
 
     #: Name of the evaluation backend ("numpy" or "python").
     backend: str = "abstract"
@@ -192,6 +201,12 @@ class CompiledCostEngine:
     def __init__(self, layout: _CompiledLayout) -> None:
         self._layout = layout
         self._mask_memo = IndexSetMemo(self._build_mask)
+        self._maintenance = layout.cache.maintenance
+        self._maintenance_memo: Optional[IndexSetMemo] = (
+            None
+            if self._maintenance is None
+            else IndexSetMemo(self._maintenance.cost_for)
+        )
 
     @property
     def cache(self) -> InumCache:
@@ -201,6 +216,12 @@ class CompiledCostEngine:
     @property
     def entry_count(self) -> int:
         return len(self._layout.internal_costs)
+
+    def maintenance_cost(self, indexes: Sequence) -> float:
+        """The index set's maintenance cost (0.0 for pure-read caches)."""
+        if self._maintenance_memo is None:
+            return 0.0
+        return self._maintenance_memo.get(indexes)
 
     def _build_mask(self, indexes: Sequence):
         raise NotImplementedError
@@ -266,7 +287,11 @@ class PythonCacheEngine(CompiledCostEngine):
 
     def entry_costs(self, indexes: Sequence) -> List[float]:
         full_minima, probe_minima = self._class_minima(self._mask_memo.get(indexes))
-        return self._entry_costs(full_minima, probe_minima)
+        costs = self._entry_costs(full_minima, probe_minima)
+        maintenance = self.maintenance_cost(indexes)
+        if maintenance:
+            costs = [cost + maintenance for cost in costs]
+        return costs
 
     def _entry_costs(
         self, full_minima: List[float], probe_minima: List[float]
@@ -371,6 +396,9 @@ class NumpyCacheEngine(CompiledCostEngine):
     def entry_costs(self, indexes: Sequence) -> List[float]:
         mask = self._mask_memo.get(indexes)
         costs, _ = self._evaluate(mask[None, :])
+        maintenance = self.maintenance_cost(indexes)
+        if maintenance:
+            return [cost + maintenance for cost in costs[0].tolist()]
         return costs[0].tolist()
 
     def estimate_detail(self, indexes: Sequence) -> CompiledEstimate:
@@ -381,7 +409,7 @@ class NumpyCacheEngine(CompiledCostEngine):
         if best_cost == _INF:
             raise self._layout.no_plan_error()
         return CompiledEstimate(
-            cost=best_cost,
+            cost=best_cost + self.maintenance_cost(indexes),
             entry=self._layout.cache.entries[best_position],
             entry_position=best_position,
         )
@@ -394,7 +422,10 @@ class NumpyCacheEngine(CompiledCostEngine):
         minima = costs.min(axis=1)
         if _np.isinf(minima).any():
             raise self._layout.no_plan_error()
-        return minima.tolist()
+        return [
+            cost + self.maintenance_cost(indexes)
+            for cost, indexes in zip(minima.tolist(), index_sets)
+        ]
 
 
 #: Recognised values of the ``backend`` argument of :func:`compile_cache`.

@@ -41,6 +41,11 @@ class InumCostModel:
         cache.validate()
         self._cache = cache
         self._by_table_memo: IndexSetMemo = IndexSetMemo(self._group_by_table)
+        self._maintenance_memo: IndexSetMemo = IndexSetMemo(
+            cache.maintenance.cost_for
+            if cache.maintenance is not None
+            else (lambda indexes: 0.0)
+        )
 
     @property
     def cache(self) -> InumCache:
@@ -82,6 +87,10 @@ class InumCostModel:
         the given indexes on that table that covers the slot's required
         order -- the per-table minimum is what an optimizer would pick too,
         so no atomic enumeration is needed.
+
+        Caches carrying a maintenance profile (DML statements) additionally
+        charge the index set's write cost on top of the read estimate,
+        mirroring the compiled engines.
         """
         return self.estimate_with_indexes_detail(indexes)[0]
 
@@ -118,6 +127,10 @@ class InumCostModel:
                 f"no cached plan of query {self._cache.query.name!r} is applicable to the "
                 "given index set"
             )
+        if self._cache.maintenance is not None:
+            maintenance = self._maintenance_memo.get(indexes)
+            if maintenance:
+                best_cost += maintenance
         return best_cost, best_entry
 
     def best_configuration(

@@ -26,6 +26,7 @@ from repro.catalog.index import Index
 from repro.inum.access_costs import AccessCostInfo
 from repro.inum.cache import CacheBuildStatistics, CacheEntry, CachedSlot, InumCache
 from repro.optimizer.interesting_orders import InterestingOrderCombination
+from repro.optimizer.maintenance import MaintenanceProfile
 from repro.optimizer.plan import PlanSummary
 from repro.query.ast import Query
 from repro.util.errors import PlanningError
@@ -43,6 +44,7 @@ def cache_to_dict(cache: InumCache) -> Dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "query_name": cache.query.name,
+        "maintenance": None if cache.maintenance is None else cache.maintenance.to_dict(),
         "entries": [_entry_to_dict(entry) for entry in cache.entries],
         "access_costs": [_access_cost_to_dict(info)
                          for table in cache.access_costs.tables()
@@ -77,6 +79,9 @@ def cache_from_dict(payload: Dict[str, Any], query: Query) -> InumCache:
             f"not {query.name!r}"
         )
     cache = InumCache(query)
+    maintenance = payload.get("maintenance")
+    if maintenance is not None:
+        cache.maintenance = MaintenanceProfile.from_dict(maintenance)
     for entry_payload in payload.get("entries", []):
         cache.add_entry(_entry_from_dict(entry_payload))
     for info_payload in payload.get("access_costs", []):

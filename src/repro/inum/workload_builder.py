@@ -35,12 +35,13 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.inum.cache import CacheBuildStatistics, InumCache
 from repro.inum.cache_builder import InumBuilderOptions
+from repro.inum.dml import build_statement_cache
 from repro.inum.serialization import CacheStore, cache_from_dict, cache_to_dict
 from repro.optimizer.interesting_orders import combination_count
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
 from repro.pinum.cache_builder import PinumBuilderOptions
-from repro.query.ast import Query
+from repro.query.ast import DmlStatement, Query
 from repro.util.errors import ReproError
 from repro.util.fingerprint import query_fingerprint
 
@@ -363,7 +364,7 @@ class WorkloadCacheBuilder:
             )
         # Longest first: interesting-order combinations dominate build time,
         # so scheduling wide joins early keeps the pool evenly loaded.
-        ordered = sorted(queries, key=combination_count, reverse=True)
+        ordered = sorted(queries, key=_build_complexity, reverse=True)
         workers = min(self.options.jobs, len(ordered))
         caches: Dict[str, InumCache] = {}
         with ProcessPoolExecutor(
@@ -384,11 +385,14 @@ def _build_one_cache(
     query: Query,
     candidates: Optional[Sequence[Index]],
 ) -> InumCache:
-    """Build a single query's cache with the configured per-query builder.
+    """Build a single statement's cache with the configured per-query builder.
 
     The builder class resolves through the CACHE_BUILDERS registry; the
     builtin names get their dedicated option blocks, external builders are
-    constructed with ``options=None``.
+    constructed with ``options=None``.  DML statements build their *shadow*
+    query through the same builder and carry a maintenance profile on top
+    (:mod:`repro.inum.dml`); the shared what-if layer memoizes both kinds of
+    probe.
     """
     builder_class = CACHE_BUILDERS.get(options.builder)
     builder_options = {
@@ -396,7 +400,23 @@ def _build_one_cache(
         "pinum": options.pinum_options,
     }.get(options.builder)
     builder = builder_class(optimizer, builder_options, call_cache=call_cache)
+    if isinstance(query, DmlStatement):
+        return build_statement_cache(
+            query,
+            candidates,
+            optimizer.catalog,
+            builder.build_cache,
+            whatif=call_cache,
+        )
     return builder.build_cache(query, candidates)
+
+
+def _build_complexity(query: Query) -> int:
+    """Sort key for parallel scheduling: interesting-order combinations."""
+    if isinstance(query, DmlStatement):
+        shadow = query.shadow_query()
+        return 0 if shadow is None else combination_count(shadow)
+    return combination_count(query)
 
 
 # -- process-pool workers ----------------------------------------------------------

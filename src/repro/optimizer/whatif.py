@@ -20,8 +20,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.index import Index
 from repro.optimizer.hooks import OptimizerHooks
+from repro.optimizer.maintenance import MaintenanceCostModel
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
-from repro.query.ast import Query
+from repro.query.ast import DmlStatement, Query, Statement
 from repro.util.fingerprint import configuration_signature, query_fingerprint
 
 
@@ -30,11 +31,52 @@ class WhatIfOptimizer:
 
     def __init__(self, optimizer: Optimizer) -> None:
         self._optimizer = optimizer
+        self._maintenance: Optional[MaintenanceCostModel] = None
 
     @property
     def optimizer(self) -> Optimizer:
         """The wrapped optimizer (for call-count inspection)."""
         return self._optimizer
+
+    @property
+    def maintenance_model(self) -> MaintenanceCostModel:
+        """The maintenance cost model over the optimizer's catalog (lazy)."""
+        if self._maintenance is None:
+            self._maintenance = MaintenanceCostModel(self._optimizer.catalog)
+        return self._maintenance
+
+    def maintenance_cost(self, statement: DmlStatement, index: Index) -> float:
+        """Per-execution cost ``statement`` pays to maintain ``index``."""
+        return self.maintenance_model.index_maintenance_cost(statement, index)
+
+    def statement_base_cost(self, statement: DmlStatement) -> float:
+        """Index-independent heap cost of one execution of ``statement``."""
+        return self.maintenance_model.base_cost(statement)
+
+    def statement_cost(
+        self,
+        statement: Statement,
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+    ) -> float:
+        """Cost of one read *or* write statement under the configuration.
+
+        Queries are priced by the optimizer exactly as
+        :meth:`cost_with_configuration`.  DML statements are priced as read
+        phase (the shadow SELECT locating the affected rows, optimized under
+        the same configuration) plus heap cost plus the maintenance of every
+        given index on the target table.
+        """
+        if not isinstance(statement, DmlStatement):
+            return self.cost_with_configuration(statement, indexes, exclusive=exclusive)
+        shadow = statement.shadow_query()
+        cost = 0.0
+        if shadow is not None:
+            cost += self.cost_with_configuration(shadow, indexes, exclusive=exclusive)
+        cost += self.statement_base_cost(statement)
+        for index in indexes:
+            cost += self.maintenance_cost(statement, index)
+        return cost
 
     def optimize_with_configuration(
         self,
@@ -74,10 +116,17 @@ class WhatIfOptimizer:
 
 @dataclass
 class WhatIfCallStatistics:
-    """Hit/miss accounting of one :class:`WhatIfCallCache`."""
+    """Hit/miss accounting of one :class:`WhatIfCallCache`.
+
+    ``hits``/``misses`` count optimizer probes only; the (far cheaper)
+    memoized maintenance-cost questions of update-aware tuning are counted
+    separately so builder hit-rate reports keep their original meaning.
+    """
 
     hits: int = 0
     misses: int = 0
+    maintenance_hits: int = 0
+    maintenance_misses: int = 0
 
     @property
     def requests(self) -> int:
@@ -132,6 +181,7 @@ class WhatIfCallCache:
             whatif = WhatIfOptimizer(whatif)
         self._whatif = whatif
         self._entries: Dict[tuple, List[Tuple[HooksSignature, OptimizationResult]]] = {}
+        self._maintenance_memo: Dict[tuple, float] = {}
         self.statistics = WhatIfCallStatistics()
 
     @property
@@ -145,6 +195,7 @@ class WhatIfCallCache:
     def clear(self) -> None:
         """Drop all memoized results (statistics are kept)."""
         self._entries.clear()
+        self._maintenance_memo.clear()
 
     def optimize_with_configuration(
         self,
@@ -184,6 +235,66 @@ class WhatIfCallCache:
         return self.optimize_with_configuration(
             query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop
         ).cost
+
+    # -- update-aware probes -----------------------------------------------
+
+    def maintenance_cost(self, statement: DmlStatement, index: Index) -> float:
+        """Memoized per-execution maintenance cost of ``index`` for ``statement``.
+
+        Keyed by (statement fingerprint, index signature): the same
+        (statement, index) question arrives once per cache build, once per
+        pruning pass and once per what-if request, and the arithmetic only
+        depends on catalog statistics, which are fixed for the cache's
+        lifetime.
+        """
+        key = (
+            query_fingerprint(statement),
+            configuration_signature([index]),
+        )
+        cost = self._maintenance_memo.get(key)
+        if cost is not None:
+            self.statistics.maintenance_hits += 1
+            return cost
+        cost = self._whatif.maintenance_cost(statement, index)
+        self.statistics.maintenance_misses += 1
+        self._maintenance_memo[key] = cost
+        return cost
+
+    def statement_base_cost(self, statement: DmlStatement) -> float:
+        """Memoized index-independent heap cost of ``statement``."""
+        key = (query_fingerprint(statement), None)
+        cost = self._maintenance_memo.get(key)
+        if cost is not None:
+            self.statistics.maintenance_hits += 1
+            return cost
+        cost = self._whatif.statement_base_cost(statement)
+        self.statistics.maintenance_misses += 1
+        self._maintenance_memo[key] = cost
+        return cost
+
+    def statement_cost(
+        self,
+        statement: "Statement",
+        indexes: Sequence[Index],
+        exclusive: bool = True,
+    ) -> float:
+        """Memoized cost of a read or write statement under the configuration.
+
+        The read phase (the query itself, or a DML statement's shadow
+        SELECT) goes through the memoized optimizer probe; the write phase
+        through the memoized maintenance questions.
+        """
+        if not isinstance(statement, DmlStatement):
+            return self.cost_with_configuration(statement, indexes, exclusive=exclusive)
+        shadow = statement.shadow_query()
+        cost = 0.0
+        if shadow is not None:
+            cost += self.cost_with_configuration(shadow, indexes, exclusive=exclusive)
+        cost += self.statement_base_cost(statement)
+        for index in indexes:
+            if index.table == statement.table:
+                cost += self.maintenance_cost(statement, index)
+        return cost
 
     @staticmethod
     def hit_baseline(whatif: object) -> int:

@@ -4,24 +4,31 @@ from repro.query.ast import (
     Aggregate,
     ColumnRef,
     Comparison,
+    DmlKind,
+    DmlStatement,
     JoinPredicate,
     OrderByItem,
     Predicate,
     Query,
+    Statement,
 )
 from repro.query.builder import QueryBuilder
-from repro.query.parser import parse_query
+from repro.query.parser import parse_query, parse_statement
 from repro.query.preprocessor import QueryPreprocessor
 
 __all__ = [
     "Aggregate",
     "ColumnRef",
     "Comparison",
+    "DmlKind",
+    "DmlStatement",
     "JoinPredicate",
     "OrderByItem",
     "Predicate",
     "Query",
     "QueryBuilder",
     "QueryPreprocessor",
+    "Statement",
     "parse_query",
+    "parse_statement",
 ]

@@ -1,18 +1,26 @@
-"""Abstract syntax for the supported query class.
+"""Abstract syntax for the supported statement class.
 
 PINUM's implementation "does not address queries containing complex
 sub-queries, inheritance, and outer joins" (Section VI-A); the supported
-class is select-project-join queries with conjunctive single-table
+read class is select-project-join queries with conjunctive single-table
 predicates, equi-joins, group-by, aggregates and order-by.  That is exactly
-the class this AST models.  Everything is immutable so queries can be used as
-dictionary keys by the plan caches.
+the class :class:`Query` models.  Everything is immutable so queries can be
+used as dictionary keys by the plan caches.
+
+Update-aware tuning additionally models the write side of a workload:
+:class:`DmlStatement` covers single-table INSERT ... VALUES, UPDATE ... SET
+and DELETE statements with the same conjunctive predicate class.  A DML
+statement exposes the subset of the :class:`Query` surface the tuning stack
+relies on (``name``, ``tables``, ``to_sql()``, ``filters_on``), so workloads
+may freely mix the two; :data:`Statement` is the union type.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple, Union
 
 from repro.util.errors import QueryError
 
@@ -156,6 +164,10 @@ class Query:
     those tables; ``filters`` are conjunctive single-table predicates.
     """
 
+    #: Class-level marker so mixed workloads can be partitioned without
+    #: isinstance checks sprinkled everywhere.
+    is_dml = False
+
     name: str
     tables: Tuple[str, ...]
     select_columns: Tuple[ColumnRef, ...] = ()
@@ -264,3 +276,199 @@ class Query:
 
     def __str__(self) -> str:
         return f"Query({self.name}: {len(self.tables)} tables)"
+
+
+class DmlKind(enum.Enum):
+    """The three supported write-statement kinds."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DmlKind.{self.name}"
+
+
+def _format_number(value: float) -> str:
+    """Render a numeric literal so it round-trips through the parser."""
+    return str(float(value))
+
+
+@dataclass(frozen=True)
+class DmlStatement:
+    """An immutable single-table INSERT / UPDATE / DELETE statement.
+
+    ``columns`` are the written columns: the INSERT target list or the
+    UPDATE SET targets (empty for DELETE).  ``values`` holds the INSERT rows
+    (one tuple per VALUES group); ``set_values`` the UPDATE assignments,
+    aligned with ``columns``.  ``filters`` is the conjunctive WHERE clause of
+    UPDATE/DELETE, restricted to the target table -- DML statements never
+    join.
+    """
+
+    is_dml = True
+
+    name: str
+    kind: DmlKind
+    table: str
+    columns: Tuple[str, ...] = ()
+    values: Tuple[Tuple[float, ...], ...] = ()
+    set_values: Tuple[float, ...] = ()
+    filters: Tuple[Predicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.table:
+            raise QueryError(f"statement {self.name!r} must name a target table")
+        if len(set(self.columns)) != len(self.columns):
+            raise QueryError(
+                f"statement {self.name!r} lists a target column twice: {self.columns}"
+            )
+        if self.kind is DmlKind.INSERT:
+            if not self.columns:
+                raise QueryError(f"INSERT {self.name!r} needs a column list")
+            if not self.values:
+                raise QueryError(f"INSERT {self.name!r} needs at least one VALUES row")
+            for row in self.values:
+                if len(row) != len(self.columns):
+                    raise QueryError(
+                        f"INSERT {self.name!r}: VALUES row has {len(row)} values "
+                        f"for {len(self.columns)} columns"
+                    )
+            if self.filters:
+                raise QueryError(f"INSERT {self.name!r} cannot have a WHERE clause")
+            if self.set_values:
+                raise QueryError(f"INSERT {self.name!r} cannot have SET assignments")
+        elif self.kind is DmlKind.UPDATE:
+            if not self.columns:
+                raise QueryError(f"UPDATE {self.name!r} needs at least one SET assignment")
+            if len(self.set_values) != len(self.columns):
+                raise QueryError(
+                    f"UPDATE {self.name!r}: {len(self.columns)} SET columns "
+                    f"but {len(self.set_values)} values"
+                )
+            if self.values:
+                raise QueryError(f"UPDATE {self.name!r} cannot have VALUES rows")
+        else:  # DELETE
+            if self.columns or self.values or self.set_values:
+                raise QueryError(f"DELETE {self.name!r} cannot write columns")
+        for predicate in self.filters:
+            if predicate.table != self.table:
+                raise QueryError(
+                    f"statement {self.name!r} targets {self.table!r} but filters "
+                    f"{predicate.table!r} (DML statements cannot join)"
+                )
+        for row in self.values:
+            for value in row:
+                if not math.isfinite(value):
+                    raise QueryError(
+                        f"statement {self.name!r}: VALUES must be finite, got {value!r}"
+                    )
+        for value in self.set_values:
+            if not math.isfinite(value):
+                raise QueryError(
+                    f"statement {self.name!r}: SET values must be finite, got {value!r}"
+                )
+
+    # -- Query-compatible surface ------------------------------------------
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """The single target table (Query-shaped, for workload plumbing)."""
+        return (self.table,)
+
+    @property
+    def table_count(self) -> int:
+        """Always 1: DML statements are single-table."""
+        return 1
+
+    def referenced_columns(self) -> List[ColumnRef]:
+        """Every column the statement reads or writes, in appearance order."""
+        refs = [ColumnRef(self.table, column) for column in self.columns]
+        refs.extend(predicate.column for predicate in self.filters)
+        return refs
+
+    def columns_of(self, table: str) -> List[str]:
+        """Distinct column names of ``table`` the statement touches."""
+        seen: List[str] = []
+        for ref in self.referenced_columns():
+            if ref.table == table and ref.column not in seen:
+                seen.append(ref.column)
+        return seen
+
+    def filters_on(self, table: str) -> List[Predicate]:
+        """Predicates restricting ``table`` (empty unless it is the target)."""
+        return [pred for pred in self.filters if pred.table == table]
+
+    # -- write-side semantics ----------------------------------------------
+
+    def affects_index_columns(self, index_columns: Tuple[str, ...]) -> bool:
+        """Whether the statement must maintain an index over ``index_columns``.
+
+        INSERT and DELETE add or remove whole rows, so every index on the
+        table needs an entry written or reclaimed; an UPDATE only touches
+        indexes containing one of its SET targets (everything else keeps its
+        entries byte-identical, PostgreSQL's HOT-update fast path).
+        """
+        if self.kind is not DmlKind.UPDATE:
+            return True
+        return any(column in index_columns for column in self.columns)
+
+    @property
+    def rows_hint(self) -> Optional[int]:
+        """Literal row count when the statement states one (INSERT VALUES)."""
+        if self.kind is DmlKind.INSERT:
+            return len(self.values)
+        return None
+
+    def shadow_query(self) -> Optional[Query]:
+        """The SELECT equivalent of the statement's *read* phase.
+
+        UPDATE and DELETE must first locate the affected rows -- exactly the
+        work a ``SELECT <referenced columns> FROM <table> WHERE <filters>``
+        performs, so that query's plan cache prices the read side (and its
+        benefit from candidate indexes).  INSERT has no read phase and
+        statements referencing no columns at all (an unfiltered DELETE) scan
+        the heap unconditionally; both return ``None`` and are priced by the
+        maintenance model alone.
+        """
+        if self.kind is DmlKind.INSERT:
+            return None
+        referenced = self.columns_of(self.table)
+        if not referenced:
+            return None
+        return Query(
+            name=self.name,
+            tables=(self.table,),
+            select_columns=tuple(ColumnRef(self.table, column) for column in referenced),
+            filters=self.filters,
+        )
+
+    def to_sql(self) -> str:
+        """Render as SQL text (round-trips through ``parse_statement``)."""
+        if self.kind is DmlKind.INSERT:
+            rows = ", ".join(
+                "(" + ", ".join(_format_number(value) for value in row) + ")"
+                for row in self.values
+            )
+            return (
+                f"INSERT INTO {self.table} ({', '.join(self.columns)})\n"
+                f"VALUES {rows}"
+            )
+        if self.kind is DmlKind.UPDATE:
+            assignments = ", ".join(
+                f"{self.table}.{column} = {_format_number(value)}"
+                for column, value in zip(self.columns, self.set_values)
+            )
+            sql = [f"UPDATE {self.table}", f"SET {assignments}"]
+        else:
+            sql = [f"DELETE FROM {self.table}"]
+        if self.filters:
+            sql.append("WHERE " + " AND ".join(str(pred) for pred in self.filters))
+        return "\n".join(sql)
+
+    def __str__(self) -> str:
+        return f"DmlStatement({self.name}: {self.kind.value} {self.table})"
+
+
+#: A workload statement: a read query or a write statement.
+Statement = Union[Query, DmlStatement]

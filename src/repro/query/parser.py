@@ -1,9 +1,11 @@
-"""A small SQL parser for the supported query class.
+"""A small SQL parser for the supported statement class.
 
 The grammar intentionally covers exactly what the optimizer supports
 (select-project-join with conjunctive predicates, equi-joins, GROUP BY,
-aggregates and ORDER BY) -- the same restriction the paper's prototype has::
+aggregates and ORDER BY) -- the same restriction the paper's prototype has --
+plus the single-table DML statements update-aware tuning prices::
 
+    statement := query | insert | update | delete
     query     := SELECT items FROM tables [WHERE conds] [GROUP BY refs] [ORDER BY orders]
     items     := item ("," item)*
     item      := colref | func "(" (colref | "*") ")"
@@ -14,10 +16,21 @@ aggregates and ORDER BY) -- the same restriction the paper's prototype has::
                | colref BETWEEN number AND number
     orders    := colref [ASC | DESC] ("," ...)*
     colref    := name "." name
+    number    := optionally signed decimal, scientific notation accepted
+                 (so every ``str(float(...))`` a renderer emits reads back)
+    insert    := INSERT INTO name "(" names ")" VALUES row ("," row)*
+    row       := "(" number ("," number)* ")"
+    update    := UPDATE name SET assign ("," assign)* [WHERE dmlconds]
+    assign    := dmlcol "=" number
+    delete    := DELETE FROM name [WHERE dmlconds]
+    dmlcol    := name | name "." name         -- bare names bind to the target
 
-Only table-qualified column references are accepted; resolution of bare
-column names is the preprocessor's job in real systems and out of scope for
-this reproduction.
+In SELECT queries only table-qualified column references are accepted;
+resolution of bare column names is the preprocessor's job in real systems
+and out of scope for this reproduction.  DML statements have exactly one
+table in scope, so bare column names are accepted there (and qualified ones
+must name the target table).  DML WHERE clauses take single-table predicates
+only -- a column-to-column comparison is a join, which DML cannot express.
 """
 
 from __future__ import annotations
@@ -30,16 +43,19 @@ from repro.query.ast import (
     AggregateFunction,
     ColumnRef,
     Comparison,
+    DmlKind,
+    DmlStatement,
     JoinPredicate,
     OrderByItem,
     Predicate,
     Query,
+    Statement,
 )
 from repro.util.errors import QueryError
 
 _TOKEN_RE = re.compile(
     r"""
-    (?P<number>\d+\.\d+|\d+)
+    (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
   | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
   | (?P<op><=|>=|<>|!=|=|<|>)
   | (?P<punct>[(),.*])
@@ -51,6 +67,11 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "select", "from", "where", "and", "group", "order", "by", "asc", "desc", "between",
 }
+
+#: DML words are *soft* keywords: they only carry meaning at the clause
+#: positions the DML grammar expects them, so pre-existing SELECT queries
+#: over tables or columns named ``set``/``values``/... keep parsing.
+_DML_HEADS = ("insert", "update", "delete")
 _AGG_NAMES = {f.value for f in AggregateFunction}
 
 
@@ -118,6 +139,24 @@ class _Parser:
             expected = text or kind
             found = got.text if got else "end of input"
             raise QueryError(f"query {self._name!r}: expected {expected!r}, found {found!r}")
+        return token
+
+    def _accept_word(self, word: str) -> Optional[_Token]:
+        """Accept a *soft* keyword: a name token with the given text."""
+        token = self._peek()
+        if token is None or token.kind != "name" or token.text.lower() != word:
+            return None
+        self._pos += 1
+        return token
+
+    def _expect_word(self, word: str) -> _Token:
+        token = self._accept_word(word)
+        if token is None:
+            got = self._peek()
+            found = got.text if got else "end of input"
+            raise QueryError(
+                f"statement {self._name!r}: expected {word.upper()!r}, found {found!r}"
+            )
         return token
 
     # -- grammar ------------------------------------------------------------
@@ -233,6 +272,136 @@ class _Parser:
             columns.append(self._parse_column_ref())
         return columns
 
+    # -- DML grammar --------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse either a SELECT query or a DML statement.
+
+        The dispatch looks only at the *first* token: a statement can never
+        start with a table or column name, so the soft DML keywords are
+        unambiguous here.
+        """
+        token = self._peek()
+        if token is not None and token.kind == "name":
+            head = token.text.lower()
+            if head == "insert":
+                return self._parse_insert()
+            if head == "update":
+                return self._parse_update()
+            if head == "delete":
+                return self._parse_delete()
+        return self.parse()
+
+    def _finish_statement(self) -> None:
+        if self._peek() is not None:
+            raise QueryError(
+                f"statement {self._name!r}: trailing input starting at {self._peek().text!r}"
+            )
+
+    def _parse_insert(self) -> DmlStatement:
+        self._expect_word("insert")
+        self._expect_word("into")
+        table = self._expect("name").text
+        self._expect("punct", "(")
+        columns = [self._expect("name").text]
+        while self._accept("punct", ","):
+            columns.append(self._expect("name").text)
+        self._expect("punct", ")")
+        self._expect_word("values")
+        rows = [self._parse_values_row()]
+        while self._accept("punct", ","):
+            rows.append(self._parse_values_row())
+        self._finish_statement()
+        return DmlStatement(
+            name=self._name,
+            kind=DmlKind.INSERT,
+            table=table,
+            columns=tuple(columns),
+            values=tuple(rows),
+        )
+
+    def _parse_values_row(self) -> tuple:
+        self._expect("punct", "(")
+        values = [self._parse_number()]
+        while self._accept("punct", ","):
+            values.append(self._parse_number())
+        self._expect("punct", ")")
+        return tuple(values)
+
+    def _parse_update(self) -> DmlStatement:
+        self._expect_word("update")
+        table = self._expect("name").text
+        self._expect_word("set")
+        columns: List[str] = []
+        values: List[float] = []
+        while True:
+            columns.append(self._parse_dml_column(table).column)
+            self._expect("op", "=")
+            values.append(self._parse_number())
+            if not self._accept("punct", ","):
+                break
+        filters = self._parse_dml_where(table)
+        self._finish_statement()
+        return DmlStatement(
+            name=self._name,
+            kind=DmlKind.UPDATE,
+            table=table,
+            columns=tuple(columns),
+            set_values=tuple(values),
+            filters=tuple(filters),
+        )
+
+    def _parse_delete(self) -> DmlStatement:
+        self._expect_word("delete")
+        self._expect("keyword", "from")
+        table = self._expect("name").text
+        filters = self._parse_dml_where(table)
+        self._finish_statement()
+        return DmlStatement(
+            name=self._name,
+            kind=DmlKind.DELETE,
+            table=table,
+            filters=tuple(filters),
+        )
+
+    def _parse_dml_column(self, table: str) -> ColumnRef:
+        """A column of the DML target: bare ``col`` or qualified ``table.col``."""
+        first = self._expect("name").text
+        if not self._accept("punct", "."):
+            return ColumnRef(table, first)
+        column = self._expect("name").text
+        if first != table:
+            raise QueryError(
+                f"statement {self._name!r}: column {first}.{column} does not "
+                f"belong to the target table {table!r}"
+            )
+        return ColumnRef(table, column)
+
+    def _parse_dml_where(self, table: str) -> List[Predicate]:
+        filters: List[Predicate] = []
+        if not self._accept("keyword", "where"):
+            return filters
+        while True:
+            left = self._parse_dml_column(table)
+            if self._accept("keyword", "between"):
+                low = self._parse_number()
+                self._expect("keyword", "and")
+                high = self._parse_number()
+                filters.append(Predicate(left, Comparison.BETWEEN, low, high))
+            else:
+                op_token = self._expect("op")
+                op_text = "<>" if op_token.text == "!=" else op_token.text
+                next_token = self._peek()
+                if next_token is not None and next_token.kind == "name":
+                    raise QueryError(
+                        f"statement {self._name!r}: DML WHERE clauses compare a "
+                        "column to a number, not to another column"
+                    )
+                filters.append(Predicate(left, Comparison(op_text), self._parse_number()))
+            if not self._accept("keyword", "and"):
+                break
+        return filters
+
     def _parse_order_items(self) -> List[OrderByItem]:
         items: List[OrderByItem] = []
         while True:
@@ -249,12 +418,33 @@ class _Parser:
 
 
 def parse_query(sql: str, name: str = "query") -> Query:
-    """Parse SQL text into a :class:`~repro.query.ast.Query`.
+    """Parse SQL text into a :class:`~repro.query.ast.Query` (SELECT only).
 
     Raises :class:`~repro.util.errors.QueryError` with a position hint on any
-    syntax error or unsupported construct.
+    syntax error or unsupported construct; DML text is rejected with a
+    pointer to :func:`parse_statement`.
     """
     tokens = _tokenize(sql)
     if not tokens:
         raise QueryError("empty query text")
+    first = tokens[0]
+    if first.kind == "name" and first.text.lower() in _DML_HEADS:
+        raise QueryError(
+            f"query {name!r} is a DML statement ({first.text.upper()}); "
+            "use parse_statement() for mixed read/write workloads"
+        )
     return _Parser(tokens, name).parse()
+
+
+def parse_statement(sql: str, name: str = "statement") -> Statement:
+    """Parse SQL text into a query *or* a DML statement.
+
+    SELECT text produces a :class:`~repro.query.ast.Query`; INSERT/UPDATE/
+    DELETE text a :class:`~repro.query.ast.DmlStatement`.  Raises
+    :class:`~repro.util.errors.QueryError` on any syntax error or
+    unsupported construct, exactly like :func:`parse_query`.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise QueryError("empty statement text")
+    return _Parser(tokens, name).parse_statement()

@@ -1,8 +1,12 @@
 """Workloads: the paper's synthetic star schema and a TPC-H-like schema."""
 
 from repro.util.errors import ReproError
-from repro.workloads.star_schema import StarSchemaWorkload
-from repro.workloads.tpch_like import build_tpch_like_catalog, tpch_q5_like_query
+from repro.workloads.star_schema import MixedWorkload, StarSchemaWorkload
+from repro.workloads.tpch_like import (
+    TpchLikeWorkload,
+    build_tpch_like_catalog,
+    tpch_q5_like_query,
+)
 
 
 def builtin_catalog_factory(name: str, seed: int = 7):
@@ -22,7 +26,9 @@ def builtin_catalog_factory(name: str, seed: int = 7):
 
 
 __all__ = [
+    "MixedWorkload",
     "StarSchemaWorkload",
+    "TpchLikeWorkload",
     "build_tpch_like_catalog",
     "builtin_catalog_factory",
     "tpch_q5_like_query",

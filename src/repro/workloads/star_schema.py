@@ -25,14 +25,17 @@ Data for execution experiments is produced separately (and much smaller) via
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
 from repro.catalog.statistics import TableStatistics
-from repro.query.ast import Query
+from repro.query.ast import DmlKind, DmlStatement, Predicate, Query, Statement
+from repro.query.ast import ColumnRef, Comparison
 from repro.query.builder import QueryBuilder
 from repro.storage.datagen import DataGenerator, Database
+from repro.util.errors import ReproError
 from repro.util.rng import DeterministicRNG
 from repro.util.units import GIB
 
@@ -47,6 +50,67 @@ TOTAL_DIMS = FIRST_LEVEL_DIMS + SECOND_LEVEL_DIMS + THIRD_LEVEL_DIMS
 
 #: Selectivity of the randomly generated range predicates ("1% selectivity").
 FILTER_SELECTIVITY = 0.01
+
+#: Selectivity of the generated write statements' WHERE clauses.  Batch-style
+#: writes touch narrow row ranges; 0.5% of a 10 GB fact table is still a few
+#: hundred thousand rows, enough for index maintenance to rival read benefit.
+WRITE_SELECTIVITY = 0.005
+
+
+@dataclass
+class MixedWorkload:
+    """A read/write workload: statements plus execution-frequency weights.
+
+    ``write_fraction`` is the *weighted* share of write executions: the
+    write statements' weights are scaled so that ``sum(write weights) /
+    sum(all weights) == write_fraction``.  Sweeping the fraction therefore
+    keeps the statement set (and every plan cache) fixed and only moves the
+    weights -- which is how the update-aware benchmark isolates the effect
+    of write pressure on the recommended index set.
+    """
+
+    statements: List[Statement] = field(default_factory=list)
+    weights: Dict[str, float] = field(default_factory=dict)
+    write_fraction: float = 0.0
+
+    @classmethod
+    def assemble(
+        cls,
+        reads: List[Query],
+        writes: List[DmlStatement],
+        read_fraction: float,
+    ) -> "MixedWorkload":
+        """Combine reads and writes at the requested weighted read share.
+
+        Reads keep weight 1.0; the writes share the weight mass that makes
+        their weighted share equal ``1 - read_fraction``.  The one place
+        this formula lives -- every workload generator's ``mixed()`` builds
+        through it.
+        """
+        if not 0.0 < read_fraction <= 1.0:
+            raise ReproError(
+                f"read_fraction must be in (0, 1], got {read_fraction}"
+            )
+        write_fraction = 1.0 - read_fraction
+        total_write_weight = write_fraction / read_fraction * len(reads)
+        per_write = total_write_weight / len(writes) if writes else 0.0
+        weights = {query.name: 1.0 for query in reads}
+        weights.update({stmt.name: per_write for stmt in writes})
+        return cls(
+            statements=list(reads) + list(writes),
+            weights=weights,
+            write_fraction=write_fraction,
+        )
+
+    @property
+    def read_queries(self) -> List[Query]:
+        """The SELECT statements of the workload."""
+        return [stmt for stmt in self.statements if not stmt.is_dml]
+
+    @property
+    def write_statements(self) -> List[DmlStatement]:
+        """The DML statements of the workload."""
+        return [stmt for stmt in self.statements if stmt.is_dml]
 
 
 class StarSchemaWorkload:
@@ -228,6 +292,119 @@ class StarSchemaWorkload:
                 break
             tables.append(rng.choice(sorted(set(frontier))))
         return tables
+
+    # -- write statements -----------------------------------------------------------
+
+    def dml_statements(
+        self, count: int = 8, tables: Optional[List[str]] = None
+    ) -> List[DmlStatement]:
+        """``count`` synthetic write statements (deterministic, like queries).
+
+        The cycle mirrors how a star schema is actually written: bulk
+        DELETEs roll old fact rows out (charging *every* fact index),
+        UPDATEs refresh dimension attributes (charging the dimension
+        indexes containing them), INSERTs append new fact rows, and
+        dimension DELETEs retire stale members.  UPDATE and DELETE carry
+        range predicates of :data:`WRITE_SELECTIVITY`.  ``tables``
+        optionally names the tables write traffic rotates over (e.g. the
+        tables a read workload touches, as :meth:`mixed` passes); the fact
+        table always takes the bulk shapes.  For a fixed ``tables`` choice
+        every statement derives from an independent RNG sub-stream, so
+        ``dml_statements(8)[:6] == dml_statements(6)``.
+        """
+        if count < 1:
+            raise ReproError(f"count must be >= 1, got {count}")
+        catalog = self.catalog()
+        dims = [table for table in (tables or []) if table != "fact"]
+        if not dims:
+            dims = [f"dim{i:02d}" for i in range(1, FIRST_LEVEL_DIMS + 1)]
+        statements = []
+        for number in range(1, count + 1):
+            rng = self._rng.derive("dml").derive(f"w{number}")
+            shape = (number - 1) % 4
+            if shape == 0:
+                kind, table_name = DmlKind.DELETE, "fact"
+            elif shape == 1:
+                kind, table_name = DmlKind.UPDATE, dims[((number - 1) // 4) % len(dims)]
+            elif shape == 2:
+                kind, table_name = DmlKind.INSERT, "fact"
+            else:
+                kind, table_name = DmlKind.DELETE, dims[((number - 1) // 2) % len(dims)]
+            statements.append(self._build_dml(catalog, rng, number, kind, table_name))
+        return statements
+
+    def _build_dml(
+        self,
+        catalog: Catalog,
+        rng: DeterministicRNG,
+        number: int,
+        kind: DmlKind,
+        table_name: str,
+    ) -> DmlStatement:
+        table = catalog.table(table_name)
+        stats = catalog.statistics(table_name)
+        attributes = [c.name for c in table.columns if c.name != table.primary_key]
+        name = f"W{number}"
+
+        if kind is DmlKind.INSERT:
+            columns = tuple(rng.sample(attributes, min(2, len(attributes))))
+            rows = tuple(
+                tuple(float(rng.randint(1, 1_000_000)) for _ in columns)
+                for _ in range(1 + rng.randint(0, 2))
+            )
+            return DmlStatement(name=name, kind=kind, table=table_name,
+                                columns=columns, values=rows)
+
+        filter_column = rng.choice(attributes)
+        col_stats = stats.column(filter_column)
+        low_bound = col_stats.min_value if col_stats.min_value is not None else 1
+        high_bound = col_stats.max_value if col_stats.max_value is not None else stats.row_count
+        span = max(1.0, (high_bound - low_bound) * WRITE_SELECTIVITY)
+        start = rng.uniform(low_bound, max(low_bound, high_bound - span))
+        predicate = Predicate(
+            ColumnRef(table_name, filter_column),
+            Comparison.BETWEEN,
+            float(round(start)),
+            float(round(start + span)),
+        )
+        if kind is DmlKind.DELETE:
+            return DmlStatement(name=name, kind=kind, table=table_name,
+                                filters=(predicate,))
+        set_candidates = [c for c in attributes if c != filter_column] or attributes
+        set_column = rng.choice(set_candidates)
+        return DmlStatement(
+            name=name,
+            kind=kind,
+            table=table_name,
+            columns=(set_column,),
+            set_values=(float(rng.randint(1, 1_000_000)),),
+            filters=(predicate,),
+        )
+
+    def mixed(
+        self,
+        read_fraction: float = 0.7,
+        read_count: int = 10,
+        write_count: int = 8,
+    ) -> MixedWorkload:
+        """A mixed read/write workload at the requested read share.
+
+        The statement set is fixed for a given ``(read_count, write_count)``
+        -- only the *weights* move with ``read_fraction``, so sweeping the
+        fraction re-tunes over identical plan caches.  Reads keep weight
+        1.0; writes share the weight mass that makes their weighted share
+        equal ``1 - read_fraction``.  Write traffic rotates over the tables
+        the read queries touch, the way a warehouse's refresh jobs churn
+        exactly the tables its dashboards read.
+        """
+        reads = self.queries(read_count)
+        read_tables: List[str] = []
+        for query in reads:
+            for table in query.tables:
+                if table not in read_tables:
+                    read_tables.append(table)
+        writes = self.dml_statements(write_count, tables=read_tables)
+        return MixedWorkload.assemble(reads, writes, read_fraction)
 
     # -- data ----------------------------------------------------------------------
 

@@ -14,11 +14,15 @@ without the real benchmark data the prototype could not handle anyway.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
 from repro.catalog.statistics import TableStatistics
-from repro.query.ast import Query
+from repro.query.ast import ColumnRef, Comparison, DmlKind, DmlStatement, Predicate, Query
 from repro.query.builder import QueryBuilder
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRNG
 
 #: TPC-H scale-factor-1 row counts (approximate).
 _ROW_COUNTS = {
@@ -140,3 +144,92 @@ def tpch_small_join_query(name: str = "tpch_small_join") -> Query:
     builder.where_between("orders.o_orderdate", 3_000, 3_060)
     builder.order_by("customer.c_custkey")
     return builder.build()
+
+
+class TpchLikeWorkload:
+    """The TPC-H-like catalog and workload behind one object.
+
+    Mirrors :class:`~repro.workloads.star_schema.StarSchemaWorkload`'s
+    surface (``catalog()``, ``queries()``, ``dml_statements()``,
+    ``mixed()``) so experiments can swap schemas without special-casing; the
+    write statements model order-entry traffic (new orders and lineitems,
+    order-status updates, lineitem deletes on narrow date ranges).
+    """
+
+    def __init__(self, seed: int = 7, scale_factor: float = 1.0) -> None:
+        self._seed = seed
+        self._scale_factor = scale_factor
+        self._rng = DeterministicRNG(seed)
+        self._catalog: Optional[Catalog] = None
+
+    def catalog(self) -> Catalog:
+        """The six-table TPC-H-like catalog (cached)."""
+        if self._catalog is None:
+            self._catalog = build_tpch_like_catalog(self._scale_factor)
+        return self._catalog
+
+    def queries(self) -> List[Query]:
+        """The two built-in analytical queries."""
+        return [tpch_q5_like_query(), tpch_small_join_query()]
+
+    def dml_statements(self, count: int = 4) -> List[DmlStatement]:
+        """``count`` deterministic order-entry write statements."""
+        if count < 1:
+            raise ReproError(f"count must be >= 1, got {count}")
+        catalog = self.catalog()
+        statements: List[DmlStatement] = []
+        for number in range(1, count + 1):
+            rng = self._rng.derive("dml").derive(f"w{number}")
+            name = f"W{number}"
+            shape = (number - 1) % 4
+            if shape == 0:
+                statements.append(DmlStatement(
+                    name=name, kind=DmlKind.INSERT, table="orders",
+                    columns=("o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"),
+                    values=tuple(
+                        (float(rng.randint(1, 10_000_000)),
+                         float(rng.randint(1, 150_000)),
+                         float(rng.randint(1, 3_650)),
+                         float(rng.randint(1, 500_000)))
+                        for _ in range(1 + rng.randint(0, 2))
+                    ),
+                ))
+            elif shape == 1:
+                start = float(rng.randint(1, 3_640))
+                statements.append(DmlStatement(
+                    name=name, kind=DmlKind.UPDATE, table="orders",
+                    columns=("o_totalprice",),
+                    set_values=(float(rng.randint(1, 500_000)),),
+                    filters=(Predicate(
+                        ColumnRef("orders", "o_orderdate"),
+                        Comparison.BETWEEN, start, start + 2.0,
+                    ),),
+                ))
+            elif shape == 2:
+                start = float(rng.randint(1, 3_640))
+                statements.append(DmlStatement(
+                    name=name, kind=DmlKind.DELETE, table="lineitem",
+                    filters=(Predicate(
+                        ColumnRef("lineitem", "l_shipdate"),
+                        Comparison.BETWEEN, start, start + 1.0,
+                    ),),
+                ))
+            else:
+                statements.append(DmlStatement(
+                    name=name, kind=DmlKind.UPDATE, table="customer",
+                    columns=("c_acctbal",),
+                    set_values=(float(rng.randint(1, 100_000)),),
+                    filters=(Predicate(
+                        ColumnRef("customer", "c_custkey"),
+                        Comparison.EQ, float(rng.randint(1, 150_000)),
+                    ),),
+                ))
+        return statements
+
+    def mixed(self, read_fraction: float = 0.7, write_count: int = 4):
+        """A mixed workload at the requested read share (see star schema)."""
+        from repro.workloads.star_schema import MixedWorkload
+
+        return MixedWorkload.assemble(
+            self.queries(), self.dml_statements(write_count), read_fraction
+        )

@@ -1,0 +1,211 @@
+"""Property-based (hypothesis) round-trip and robustness tests for the parser.
+
+Two families:
+
+* **round trip** -- for randomized valid SELECT and DML ASTs,
+  ``parse(to_sql(x)) == x`` and rendering is a fixed point
+  (``to_sql(parse(to_sql(x))) == to_sql(x)``), so the parser and the
+  renderers can never drift apart, and
+* **robustness** -- arbitrary text (including mutilated valid SQL) either
+  parses or raises the repo's typed :class:`QueryError`; no input may
+  escape as an internal exception (IndexError, ValueError, RecursionError,
+  ...).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateFunction,
+    ColumnRef,
+    Comparison,
+    DmlKind,
+    DmlStatement,
+    JoinPredicate,
+    OrderByItem,
+    Predicate,
+    Query,
+)
+from repro.query.parser import parse_query, parse_statement
+from repro.util.errors import QueryError
+
+_settings = settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+# Identifiers the tokenizer accepts and the keyword table never swallows.
+_TABLES = ("alpha", "beta", "gamma", "delta")
+_COLUMNS = ("c1", "c2", "c3", "k_id", "val")
+
+#: Numeric literals: any finite float round-trips (the tokenizer reads the
+#: sign and scientific notation ``str(float(x))`` may emit).  Bounded to
+#: 1e300 so BETWEEN's ``low + span`` cannot overflow to infinity.
+_numbers = st.one_of(
+    st.integers(min_value=-(10**19), max_value=10**19).map(float),
+    st.integers(min_value=-(10**6), max_value=10**6).map(lambda n: n / 4.0),
+    st.floats(min_value=-1e300, max_value=1e300, allow_nan=False),
+)
+
+_filter_ops = st.sampled_from([
+    Comparison.EQ, Comparison.NE, Comparison.LT,
+    Comparison.LE, Comparison.GT, Comparison.GE,
+])
+
+
+def _column(table: str) -> st.SearchStrategy[ColumnRef]:
+    return st.sampled_from(_COLUMNS).map(lambda c: ColumnRef(table, c))
+
+
+@st.composite
+def select_queries(draw) -> Query:
+    tables = tuple(draw(st.lists(
+        st.sampled_from(_TABLES), min_size=1, max_size=3, unique=True
+    )))
+    select_columns = []
+    aggregates = []
+    for table in tables:
+        for column in draw(st.lists(_column(table), min_size=0, max_size=2)):
+            if column not in select_columns:
+                select_columns.append(column)
+    if draw(st.booleans()) or not select_columns:
+        func = draw(st.sampled_from(list(AggregateFunction)))
+        column = None if func is AggregateFunction.COUNT else draw(_column(tables[0]))
+        aggregates.append(Aggregate(func, column))
+    filters = []
+    for table in tables:
+        if draw(st.booleans()):
+            if draw(st.booleans()):
+                low = draw(_numbers)
+                filters.append(Predicate(
+                    draw(_column(table)), Comparison.BETWEEN, low, low + draw(_numbers)
+                ))
+            else:
+                filters.append(Predicate(
+                    draw(_column(table)), draw(_filter_ops), draw(_numbers)
+                ))
+    joins = []
+    for left_table, right_table in zip(tables, tables[1:]):
+        joins.append(JoinPredicate(
+            draw(_column(left_table)), draw(_column(right_table))
+        ))
+    group_by = []
+    order_by = []
+    if select_columns and draw(st.booleans()):
+        group_by.append(draw(st.sampled_from(select_columns)))
+    if select_columns and draw(st.booleans()):
+        order_by.append(OrderByItem(
+            draw(st.sampled_from(select_columns)), draw(st.booleans())
+        ))
+    return Query(
+        name="prop",
+        tables=tables,
+        select_columns=tuple(select_columns),
+        aggregates=tuple(aggregates),
+        filters=tuple(filters),
+        joins=tuple(joins),
+        group_by=tuple(group_by),
+        order_by=tuple(order_by),
+    )
+
+
+@st.composite
+def dml_statements(draw) -> DmlStatement:
+    table = draw(st.sampled_from(_TABLES))
+    kind = draw(st.sampled_from(list(DmlKind)))
+    filters = tuple(
+        Predicate(ColumnRef(table, column), draw(_filter_ops), draw(_numbers))
+        for column in draw(st.lists(
+            st.sampled_from(_COLUMNS), min_size=0, max_size=2, unique=True
+        ))
+    ) if kind is not DmlKind.INSERT else ()
+    if kind is DmlKind.INSERT:
+        columns = tuple(draw(st.lists(
+            st.sampled_from(_COLUMNS), min_size=1, max_size=3, unique=True
+        )))
+        values = tuple(
+            tuple(draw(_numbers) for _ in columns)
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        )
+        return DmlStatement(name="prop", kind=kind, table=table,
+                            columns=columns, values=values)
+    if kind is DmlKind.UPDATE:
+        columns = tuple(draw(st.lists(
+            st.sampled_from(_COLUMNS), min_size=1, max_size=2, unique=True
+        )))
+        set_values = tuple(draw(_numbers) for _ in columns)
+        return DmlStatement(name="prop", kind=kind, table=table, columns=columns,
+                            set_values=set_values, filters=filters)
+    return DmlStatement(name="prop", kind=kind, table=table, filters=filters)
+
+
+class TestRoundTripProperties:
+    @_settings
+    @given(query=select_queries())
+    def test_select_round_trips_exactly(self, query):
+        sql = query.to_sql()
+        reparsed = parse_query(sql, name="prop")
+        assert reparsed == query
+        assert reparsed.to_sql() == sql
+
+    @_settings
+    @given(query=select_queries())
+    def test_parse_statement_agrees_with_parse_query(self, query):
+        sql = query.to_sql()
+        assert parse_statement(sql, name="prop") == parse_query(sql, name="prop")
+
+    @_settings
+    @given(statement=dml_statements())
+    def test_dml_round_trips_exactly(self, statement):
+        sql = statement.to_sql()
+        reparsed = parse_statement(sql, name="prop")
+        assert reparsed == statement
+        assert reparsed.to_sql() == sql
+
+    @_settings
+    @given(statement=dml_statements())
+    def test_dml_accepts_unqualified_columns(self, statement):
+        """Stripping the target-table qualifiers parses to the same statement."""
+        sql = statement.to_sql().replace(f"{statement.table}.", "")
+        assert parse_statement(sql, name="prop") == statement
+
+
+class TestParserRobustness:
+    @_settings
+    @given(text=st.text(max_size=200))
+    def test_arbitrary_text_never_raises_internal_errors(self, text):
+        for entry in (parse_query, parse_statement):
+            try:
+                entry(text)
+            except QueryError:
+                pass  # the one sanctioned failure mode
+
+    @_settings
+    @given(
+        source=st.one_of(select_queries(), dml_statements()),
+        start=st.integers(min_value=0, max_value=199),
+        length=st.integers(min_value=1, max_value=40),
+    )
+    def test_mutilated_valid_sql_never_raises_internal_errors(self, source, start, length):
+        sql = source.to_sql()
+        mutated = sql[:start] + sql[start + length:]
+        try:
+            parse_statement(mutated)
+        except QueryError:
+            pass
+
+    @_settings
+    @given(
+        source=st.one_of(select_queries(), dml_statements()),
+        position=st.integers(min_value=0, max_value=200),
+        junk=st.text(
+            alphabet="().,*<>=!0123456789abc_ \n", min_size=1, max_size=10
+        ),
+    )
+    def test_injected_junk_never_raises_internal_errors(self, source, position, junk):
+        sql = source.to_sql()
+        mutated = sql[:position] + junk + sql[position:]
+        try:
+            parse_statement(mutated)
+        except QueryError:
+            pass

@@ -1,0 +1,236 @@
+"""Fuzz/robustness tests for the ``repro serve`` NDJSON protocol.
+
+The service loop's contract: one structured response per non-empty request
+line, errors as ``{"ok": false, "error": {...}}`` responses, and the loop
+only ends on EOF or an explicit shutdown.  These tests throw malformed
+JSON, wrong-shaped payloads, unknown operations and mid-stream EOF at a
+frontend and assert the contract holds -- ``handle_line`` must never raise
+and never kill the loop.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.advisor.advisor import AdvisorOptions
+from repro.api.serve import ServeFrontend
+
+_settings = settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+
+@pytest.fixture(scope="module")
+def frontend():
+    """One shared frontend; tpch is the cheaper catalog to warm."""
+    return ServeFrontend(
+        default_catalog="tpch",
+        options=AdvisorOptions(max_candidates=8),
+    )
+
+
+def _assert_error_response(raw: str):
+    response = json.loads(raw)
+    assert response["ok"] is False
+    assert isinstance(response["error"], dict)
+    assert response["error"]["type"]
+    assert isinstance(response["error"]["message"], str)
+    return response
+
+
+class TestMalformedLines:
+    @_settings
+    @given(line=st.text(max_size=200))
+    def test_arbitrary_text_yields_exactly_one_json_response(self, frontend, line):
+        raw = frontend.handle_line(line)
+        response = json.loads(raw)
+        assert "\n" not in raw
+        assert response["ok"] in (True, False)
+
+    @_settings
+    @given(payload=st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+                  st.text(max_size=20)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=10), children, max_size=4),
+        ),
+        max_leaves=10,
+    ))
+    def test_arbitrary_json_payloads_never_crash(self, frontend, payload):
+        raw = frontend.handle_line(json.dumps(payload))
+        response = json.loads(raw)
+        assert response["ok"] in (True, False)
+
+    def test_non_object_json_is_a_structured_error(self, frontend):
+        for line in ("[1, 2]", '"ping"', "42", "null", "true"):
+            _assert_error_response(frontend.handle_line(line))
+
+    def test_invalid_json_is_a_structured_error(self, frontend):
+        for line in ("{", '{"op": "ping"', "ping}", "\x00", "{]"):
+            response = _assert_error_response(frontend.handle_line(line))
+            assert response["id"] is None
+
+
+class TestUnknownAndIllTypedOps:
+    @_settings
+    @given(op=st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=20))
+    def test_unknown_ops_list_the_known_ones(self, frontend, op):
+        raw = frontend.handle_line(json.dumps({"id": 1, "op": op}))
+        response = json.loads(raw)
+        if response["ok"]:
+            return  # hypothesis found a real operation; that is fine
+        assert response["id"] == 1
+
+    def test_known_ops_with_garbage_params_stay_structured(self, frontend):
+        cases = [
+            {"op": "explain", "params": {"sql": 42}},
+            {"op": "explain", "params": {}},
+            {"op": "evaluate", "params": {"indexes": "nope"}},
+            {"op": "evaluate", "params": {"indexes": [{"table": 1}]}},
+            {"op": "what_if", "params": {}},
+            {"op": "add_queries", "params": {"queries": []}},
+            {"op": "add_queries", "params": {"queries": ["SELECT"]}},
+            {"op": "add_queries", "params": {"queries": [{"sql": "DELETE FROM"}]}},
+            {"op": "remove_queries", "params": {"names": ["ghost"]}},
+            {"op": "set_budget", "params": {"space_budget_bytes": "big"}},
+            {"op": "set_budget", "params": {"space_budget_bytes": -5}},
+            {"op": "set_weights", "params": {}},
+            {"op": "set_weights", "params": {"weights": {"ghost": 1.0}}},
+            {"op": "set_weights", "params": {"weights": {"tpch_q5_like": -2}}},
+            {"op": "recommend", "params": {"nonsense": True}},
+            {"op": "recommend", "params": {"statement_weights": "heavy"}},
+            {"op": "ping", "params": "not-an-object"},
+            {"op": 17},
+            {"params": {}},
+        ]
+        for payload in cases:
+            payload = dict(payload, id="fuzz")
+            response = _assert_error_response(frontend.handle_line(json.dumps(payload)))
+            assert response["id"] == "fuzz"
+
+    def test_unknown_catalog_is_a_structured_error(self, frontend):
+        # ping never resolves a session; workload does and must reject the
+        # catalog without crashing the loop.
+        raw = frontend.handle_line(json.dumps(
+            {"id": 3, "op": "workload", "catalog": "oracle9i"}
+        ))
+        response = _assert_error_response(raw)
+        assert "oracle9i" in response["error"]["message"]
+
+
+class TestServeLoop:
+    def _run(self, frontend, lines):
+        stdin = io.StringIO("".join(line + "\n" for line in lines))
+        stdout = io.StringIO()
+        exit_code = frontend.serve(stdin, stdout)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        return exit_code, responses
+
+    def test_garbage_between_requests_never_kills_the_loop(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        rng = random.Random(7)
+        lines = []
+        for number in range(20):
+            lines.append(json.dumps({"id": number, "op": "ping"}))
+            lines.append("".join(
+                rng.choice(string.printable.replace("\n", "").replace("\r", ""))
+                for _ in range(rng.randint(1, 60))
+            ))
+        exit_code, responses = self._run(frontend, lines)
+        assert exit_code == 0
+        assert len(responses) == 40
+        pings = [r for r in responses if r["ok"]]
+        assert len(pings) == 20
+
+    def test_mid_stream_eof_exits_cleanly(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        # A truncated request line (no trailing newline, cut mid-JSON)
+        # followed by EOF: one error response, clean exit, reusable session.
+        stdin = io.StringIO('{"id": 1, "op": "ping"}\n{"id": 2, "op": "recomm')
+        stdout = io.StringIO()
+        assert frontend.serve(stdin, stdout) == 0
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert len(responses) == 2
+        assert responses[0]["ok"] is True
+        assert responses[1]["ok"] is False
+        # The frontend survives and keeps serving afterwards.
+        followup = json.loads(frontend.handle_line('{"id": 3, "op": "ping"}'))
+        assert followup["ok"] is True
+
+    def test_empty_and_whitespace_lines_are_ignored(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        exit_code, responses = self._run(
+            frontend, ["", "   ", "\t", json.dumps({"id": 1, "op": "ping"})]
+        )
+        assert exit_code == 0
+        assert len(responses) == 1
+
+    def test_shutdown_stops_reading_further_lines(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        exit_code, responses = self._run(frontend, [
+            json.dumps({"id": 1, "op": "shutdown"}),
+            json.dumps({"id": 2, "op": "ping"}),
+        ])
+        assert exit_code == 0
+        assert len(responses) == 1
+        assert responses[0]["result"]["shutting_down"] is True
+
+    def test_bad_weight_leaves_the_workload_untouched(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        response = json.loads(frontend.handle_line(json.dumps({
+            "id": 1, "op": "add_queries", "params": {"queries": [
+                {"sql": "DELETE FROM orders WHERE o_orderdate BETWEEN 1 AND 2",
+                 "name": "wx", "weight": "abc"},
+            ]},
+        })))
+        assert response["ok"] is False
+        workload = json.loads(frontend.handle_line(
+            json.dumps({"id": 2, "op": "workload"})
+        ))["result"]
+        assert "wx" not in {entry["name"] for entry in workload["queries"]}
+        # A corrected retry now succeeds (no duplicate-name residue).
+        retry = json.loads(frontend.handle_line(json.dumps({
+            "id": 3, "op": "add_queries", "params": {"queries": [
+                {"sql": "DELETE FROM orders WHERE o_orderdate BETWEEN 1 AND 2",
+                 "name": "wx", "weight": 2.0},
+            ]},
+        })))
+        assert retry["ok"] is True
+
+    def test_mixed_workload_ops_round_trip_through_serve(self):
+        frontend = ServeFrontend(
+            default_catalog="tpch", options=AdvisorOptions(max_candidates=8)
+        )
+        lines = [
+            json.dumps({"id": 1, "op": "add_queries", "params": {"queries": [
+                {"sql": "UPDATE orders SET o_totalprice = 9 "
+                        "WHERE o_orderdate BETWEEN 100 AND 102",
+                 "name": "w1", "weight": 5.0},
+            ]}}),
+            json.dumps({"id": 2, "op": "set_weights",
+                        "params": {"weights": {"w1": 25.0}}}),
+            json.dumps({"id": 3, "op": "workload"}),
+        ]
+        exit_code, responses = self._run(frontend, lines)
+        assert exit_code == 0
+        assert all(response["ok"] for response in responses)
+        workload = responses[2]["result"]
+        by_name = {entry["name"]: entry for entry in workload["queries"]}
+        assert by_name["w1"]["kind"] == "update"
+        assert by_name["w1"]["weight"] == 25.0
