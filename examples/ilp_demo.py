@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Optimal index selection: the ILP solver vs the greedy heuristic.
+
+Greedy index selection is fast and usually good -- but it commits to one
+pick at a time, and under a tight space budget an early large index can
+crowd out a better combination.  The ``"ilp"`` selector compiles the same
+plan-cache arithmetic into a CoPhy-style binary integer program and solves
+it with branch and bound, warm-started from the lazy-greedy picks, so it is
+*never worse* and reports a proven optimality gap:
+
+1. tune the fig-7 star workload with the lazy-greedy selector,
+2. tune it again with ``selector="ilp"`` -- same session, warm caches; the
+   solver proves optimality (gap 0) and here finds a strictly better
+   configuration than greedy under the same 5 GB budget, and
+3. interrupt the solver (``ilp_time_limit=0``) to show the anytime
+   contract: greedy-quality picks plus an honest proven gap.
+
+Run with:  python examples/ilp_demo.py
+"""
+
+from repro.advisor import AdvisorOptions
+from repro.api.requests import RecommendRequest
+from repro.api.session import TuningSession
+from repro.util.units import format_bytes, gigabytes
+from repro.workloads import StarSchemaWorkload
+
+
+def show(title: str, result) -> None:
+    print(f"\n=== {title} ===")
+    print(f"cost    : {result.workload_cost_before:,.1f} -> "
+          f"{result.workload_cost_after:,.1f} "
+          f"({result.improvement_fraction * 100.0:.1f}% improvement)")
+    print(f"gap     : {result.optimality_gap_text()}")
+    if result.selector == "ilp":
+        print(f"solver  : {result.nodes_explored} nodes, "
+              f"incumbent from {result.incumbent_source}")
+    print(f"indexes : {len(result.selected_indexes)} "
+          f"({format_bytes(result.total_index_bytes)})")
+    for index in result.selected_indexes:
+        print(f"  - {index.table}({', '.join(index.columns)})")
+
+
+def main() -> None:
+    workload = StarSchemaWorkload(seed=7)
+    session = TuningSession(
+        workload.catalog(),
+        workload.queries(),
+        options=AdvisorOptions(
+            space_budget_bytes=gigabytes(5),
+            max_candidates=60,
+        ),
+    )
+
+    # 1. The heuristic: CELF-style lazy greedy (the session default).
+    greedy = session.recommend().result
+    show("lazy greedy (heuristic, no bound)", greedy)
+
+    # 2. The solver: same warm caches, provably optimal answer.  On this
+    #    workload the greedy pick sequence is sub-optimal -- branch and
+    #    bound finds a cheaper configuration under the same budget and
+    #    proves no better one exists.
+    optimal = session.recommend(RecommendRequest(selector="ilp")).result
+    show("ilp (proved optimal)", optimal)
+
+    saved = greedy.workload_cost_after - optimal.workload_cost_after
+    print(f"\nILP beats greedy by {saved:,.1f} cost units "
+          f"({100.0 * saved / greedy.workload_cost_after:.2f}% of the tuned cost), "
+          "with proof.")
+
+    # 3. Anytime: a zero time limit returns the warm-started greedy picks
+    #    and the gap the root relaxation could already prove.
+    interrupted = session.recommend(
+        RecommendRequest(selector="ilp", ilp_time_limit=0.0)
+    ).result
+    show("ilp interrupted at t=0 (anytime contract)", interrupted)
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,12 @@ PINUM cache (fast, arithmetic only after the cache is built) -- which is
 exactly the trade-off Figures 4 and 6/7 quantify.
 """
 
-from repro.advisor.advisor import AdvisorOptions, AdvisorResult, IndexAdvisor
+from repro.advisor.advisor import (
+    AdvisorOptions,
+    AdvisorResult,
+    IndexAdvisor,
+    validate_tuning_limits,
+)
 from repro.advisor.benefit import (
     CacheBackedWorkloadCostModel,
     CostModelRequest,
@@ -36,4 +41,5 @@ __all__ = [
     "SelectionStatistics",
     "SelectionStep",
     "WorkloadCostModel",
+    "validate_tuning_limits",
 ]

@@ -15,17 +15,60 @@ after minutes of cache construction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.advisor.benefit import validate_statement_weight
 from repro.advisor.greedy import SelectionStep
 from repro.api.registry import CANDIDATE_POLICIES, COST_MODELS, ENGINES, SELECTORS
+from repro.api.requests import UNSET
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.optimizer.optimizer import Optimizer
 from repro.query.ast import Query
+from repro.util.errors import AdvisorError
 from repro.util.units import format_bytes, gigabytes
+
+
+def validate_tuning_limits(
+    space_budget_bytes: object = UNSET,
+    ilp_gap: object = UNSET,
+    ilp_time_limit: object = UNSET,
+) -> None:
+    """Validate the numeric tuning limits shared by every request surface.
+
+    One validation path for :class:`AdvisorOptions`,
+    :class:`~repro.api.requests.RecommendRequest`,
+    :meth:`~repro.api.session.TuningSession.set_budget` and the ILP
+    selector/solver options: the space budget must be strictly positive,
+    the ILP gap and time limit non-negative (``ilp_time_limit=None`` = no
+    limit; a field left at the :data:`~repro.api.requests.UNSET` sentinel
+    is not checked).  Raises one
+    :class:`~repro.util.errors.AdvisorError` listing *every* offending field.
+    """
+    problems = []
+    if space_budget_bytes is not UNSET:
+        if not isinstance(space_budget_bytes, (int, float)) or not space_budget_bytes > 0:
+            problems.append(f"space_budget_bytes must be > 0, got {space_budget_bytes!r}")
+    if ilp_gap is not UNSET:
+        if (
+            not isinstance(ilp_gap, (int, float))
+            or not math.isfinite(ilp_gap)
+            or ilp_gap < 0
+        ):
+            problems.append(f"ilp_gap must be a finite number >= 0, got {ilp_gap!r}")
+    if ilp_time_limit is not UNSET and ilp_time_limit is not None:
+        if (
+            not isinstance(ilp_time_limit, (int, float))
+            or math.isnan(ilp_time_limit)
+            or ilp_time_limit < 0
+        ):
+            problems.append(
+                f"ilp_time_limit must be >= 0 seconds or None, got {ilp_time_limit!r}"
+            )
+    if problems:
+        raise AdvisorError("invalid tuning limits: " + "; ".join(problems))
 
 
 @dataclass(frozen=True)
@@ -44,9 +87,13 @@ class AdvisorOptions:
     :class:`~repro.inum.serialization.CacheStore` directory so caches are
     reused across advisor runs and invalidated when the catalog changes.
 
-    ``selector`` picks the greedy search: ``"lazy"`` (default, the CELF-style
+    ``selector`` picks the search: ``"lazy"`` (default, the CELF-style
     loop of :mod:`repro.advisor.lazy_greedy` -- identical picks, far fewer
-    benefit evaluations) or ``"exhaustive"`` (the paper's literal loop).
+    benefit evaluations), ``"exhaustive"`` (the paper's literal loop) or
+    ``"ilp"`` (the CoPhy-style branch-and-bound solver of
+    :mod:`repro.advisor.ilp` -- provably optimal within ``ilp_gap``, or the
+    best-found selection with a proven gap when ``ilp_time_limit`` seconds
+    run out; never worse than ``"lazy"``, whose picks warm-start it).
     ``engine`` picks how cache-backed models evaluate: ``"auto"`` (default,
     compiled arithmetic, vectorized with numpy when installed), ``"numpy"``,
     ``"python"`` or ``"scalar"`` (the original per-slot walk).
@@ -81,11 +128,29 @@ class AdvisorOptions:
     statement_weights: Optional[
         Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
     ] = None
+    #: Relative optimality gap the ``"ilp"`` selector may stop at (0 =
+    #: prove optimality) and its wall-clock budget in seconds (``None`` =
+    #: unlimited).  Ignored by the greedy selectors.
+    ilp_gap: float = 0.0
+    ilp_time_limit: Optional[float] = 60.0
 
     def __post_init__(self) -> None:
+        validate_tuning_limits(
+            space_budget_bytes=self.space_budget_bytes,
+            ilp_gap=self.ilp_gap,
+            ilp_time_limit=self.ilp_time_limit,
+        )
         COST_MODELS.validate(self.cost_model)
         SELECTORS.validate(self.selector)
         CANDIDATE_POLICIES.validate(self.candidate_policy)
+        if self.selector == "ilp" and not getattr(
+            COST_MODELS.get(self.cost_model), "uses_plan_caches", False
+        ):
+            raise AdvisorError(
+                f"selector 'ilp' needs a cache-backed cost model, not "
+                f"{self.cost_model!r}: the BIP is formulated over per-query "
+                "plan caches"
+            )
         # Engines also probe availability eagerly (e.g. engine="numpy"
         # without numpy installed), before recommend() pays for a whole
         # cache build only to have the cost model reject it afterwards.
@@ -137,6 +202,17 @@ class AdvisorResult:
     #: index-maintenance cost provably dominates any read benefit (0 for
     #: pure-read workloads).
     candidates_pruned_for_writes: int = 0
+    #: Proven relative optimality gap of the selection: 0.0 = proved
+    #: optimal (the ILP selector closed its bound), a positive value = the
+    #: solver was interrupted with that much room left, ``None`` = the
+    #: selector is a heuristic with no bound (the greedy loops).
+    optimality_gap: Optional[float] = None
+    #: Branch-and-bound nodes the ILP selector expanded (0 otherwise).
+    nodes_explored: int = 0
+    #: Origin of the returned selection: "n/a" (greedy), "lazy-greedy" (the
+    #: ILP warm start was never beaten) or "solver" (branch and bound
+    #: improved on greedy).
+    incumbent_source: str = "n/a"
 
     @property
     def improvement_fraction(self) -> float:
@@ -144,6 +220,14 @@ class AdvisorResult:
         if self.workload_cost_before <= 0:
             return 0.0
         return 1.0 - self.workload_cost_after / self.workload_cost_before
+
+    def optimality_gap_text(self) -> str:
+        """The gap as one human-readable phrase (shared by CLI and serve)."""
+        if self.optimality_gap is None:
+            return "n/a (heuristic selector, no bound)"
+        if self.optimality_gap <= 0.0:
+            return "0.00% (proved optimal)"
+        return f"{self.optimality_gap * 100.0:.2f}% (solver interrupted)"
 
     def summary(self) -> str:
         """A short human-readable report."""
@@ -157,7 +241,13 @@ class AdvisorResult:
             f"selection phase       : {self.selection_seconds:.2f}s, "
             f"{self.selection_candidate_evaluations} candidate evaluations "
             f"({self.selector} selector, {self.engine} engine)",
+            f"optimality gap        : {self.optimality_gap_text()}",
         ]
+        if self.selector == "ilp":
+            lines.append(
+                f"ilp solver            : {self.nodes_explored} nodes explored, "
+                f"incumbent from {self.incumbent_source}"
+            )
         if self.candidates_pruned_for_writes:
             lines.append(
                 f"write-dominated       : {self.candidates_pruned_for_writes} "

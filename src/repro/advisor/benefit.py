@@ -412,6 +412,15 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
             return "scalar"
         return next(iter(self._engines.values())).backend
 
+    @property
+    def caches(self) -> Dict[str, InumCache]:
+        """The per-statement plan caches this model answers from (by name).
+
+        The ILP formulation compiles these (maintenance profiles included)
+        into its objective and constraint matrices.
+        """
+        return self._caches
+
     def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
         evaluator: Union[CompiledCostEngine, InumCostModel, None]
         evaluator = self._engines.get(query.name) or self._models.get(query.name)

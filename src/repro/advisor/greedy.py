@@ -40,13 +40,28 @@ class SelectionStep:
 
 @dataclass
 class SelectionStatistics:
-    """How much work one selection run spent (for reports and benchmarks)."""
+    """How much work one selection run spent (for reports and benchmarks).
+
+    One shared shape for every registered selector.  The greedy loops fill
+    the effort counters and leave the proof fields at their defaults
+    (``optimality_gap=None`` renders as "n/a" -- a heuristic has no bound);
+    the ILP selector additionally reports its branch-and-bound proof state.
+    """
 
     seconds: float = 0.0
     iterations: int = 0
     candidate_evaluations: int = 0
     query_evaluations: int = 0
     pruned_for_space: int = 0
+    #: Proven relative optimality gap: 0.0 = proved optimal, ``None`` = no
+    #: bound available (the greedy heuristics).
+    optimality_gap: Optional[float] = None
+    #: Branch-and-bound nodes expanded (0 for the greedy loops).
+    nodes_explored: int = 0
+    #: Where the returned selection came from: "n/a" for the greedy loops,
+    #: "lazy-greedy" when the ILP warm start was already optimal/best found,
+    #: "solver" when branch and bound improved on it.
+    incumbent_source: str = "n/a"
 
 
 class GreedySelector:

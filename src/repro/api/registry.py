@@ -11,9 +11,13 @@ registries:
   answer from per-query plan caches set ``uses_plan_caches = True`` (and
   optionally ``cache_builder = <builder name>``) so the
   :class:`~repro.api.session.TuningSession` can keep their caches warm.
-* :data:`SELECTORS` -- greedy search loops.  An entry is a factory
+* :data:`SELECTORS` -- index-selection search loops.  An entry is a factory
   ``(catalog, cost_model, space_budget_bytes, min_relative_benefit)`` that
-  returns an object with ``select(candidates)`` and ``statistics``.
+  returns an object with ``select(candidates)`` and ``statistics``; a
+  factory may additionally accept an ``options`` keyword (the effective
+  :class:`~repro.advisor.advisor.AdvisorOptions`), which the session passes
+  when the signature allows it -- the ``"ilp"`` selector reads its
+  ``ilp_gap``/``ilp_time_limit`` that way.
 * :data:`ENGINES` -- cache evaluation engines.  An entry is an
   :class:`EngineSpec` describing whether caches are compiled for it and how
   to check its availability.
@@ -155,10 +159,11 @@ COST_MODELS = Registry("cost model", builtins={
     "optimizer": "repro.advisor.benefit:build_optimizer_cost_model",
 })
 
-#: Greedy search loops, keyed by ``AdvisorOptions.selector``.
+#: Index-selection search loops, keyed by ``AdvisorOptions.selector``.
 SELECTORS = Registry("selector", builtins={
     "lazy": "repro.advisor.lazy_greedy:build_lazy_selector",
     "exhaustive": "repro.advisor.greedy:build_exhaustive_selector",
+    "ilp": "repro.advisor.ilp.selector:build_ilp_selector",
 })
 
 #: Cache evaluation engines, keyed by ``AdvisorOptions.engine``.

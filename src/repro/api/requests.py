@@ -88,6 +88,25 @@ class RecommendRequest:
     #: Per-statement execution-frequency overrides for this call, merged
     #: over the session's weights (mixed read/write workloads).
     statement_weights: Optional[Dict[str, float]] = None
+    #: ``"ilp"``-selector overrides: target relative gap (0 = prove
+    #: optimality) and wall-clock budget in seconds.  ``ilp_time_limit``
+    #: uses the UNSET sentinel because ``None`` is meaningful (no limit).
+    ilp_gap: Optional[float] = None
+    ilp_time_limit: Union[float, None, _Unset] = UNSET
+
+    def __post_init__(self) -> None:
+        # Same validation AdvisorOptions applies, before any session work.
+        # None means "inherit" for budget/gap, so only real values are
+        # checked; ilp_time_limit speaks UNSET natively (None = no limit).
+        from repro.advisor.advisor import validate_tuning_limits
+
+        validate_tuning_limits(
+            space_budget_bytes=(
+                UNSET if self.space_budget_bytes is None else self.space_budget_bytes
+            ),
+            ilp_gap=UNSET if self.ilp_gap is None else self.ilp_gap,
+            ilp_time_limit=self.ilp_time_limit,
+        )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RecommendRequest":
@@ -95,7 +114,7 @@ class RecommendRequest:
         known = {
             "space_budget_bytes", "cost_model", "selector", "engine",
             "candidate_policy", "max_candidates", "min_relative_benefit",
-            "candidates", "statement_weights",
+            "candidates", "statement_weights", "ilp_gap", "ilp_time_limit",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -205,6 +224,9 @@ class RecommendResponse:
             "preparation_optimizer_calls": result.preparation_optimizer_calls,
             "selection_candidate_evaluations": result.selection_candidate_evaluations,
             "candidates_pruned_for_writes": result.candidates_pruned_for_writes,
+            "optimality_gap": result.optimality_gap,
+            "nodes_explored": result.nodes_explored,
+            "incumbent_source": result.incumbent_source,
             "session": {
                 "caches_built": self.caches_built,
                 "caches_from_store": self.caches_from_store,

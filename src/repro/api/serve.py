@@ -276,6 +276,7 @@ class ServeFrontend:
         session = self._session(payload)
         statistics = session.statistics
         whatif = session.call_cache.statistics
+        last = session.last_result
         return {
             "recommend_calls": statistics.recommend_calls,
             "caches_built": statistics.caches_built,
@@ -286,6 +287,16 @@ class ServeFrontend:
             "whatif_hits": whatif.hits,
             "whatif_misses": whatif.misses,
             "optimizer_calls": session.optimizer.call_count,
+            # Selector telemetry of the most recent recommend: the shared
+            # SelectionStatistics shape, gap "n/a" for the greedy heuristics.
+            "last_recommend": None if last is None else {
+                "selector": last.selector,
+                "engine": last.engine,
+                "optimality_gap": last.optimality_gap,
+                "optimality_gap_text": last.optimality_gap_text(),
+                "nodes_explored": last.nodes_explored,
+                "incumbent_source": last.incumbent_source,
+            },
         }
 
     def _op_shutdown(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:

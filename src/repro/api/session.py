@@ -42,10 +42,11 @@ Two candidate policies (pluggable through
 from __future__ import annotations
 
 import dataclasses
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.advisor.advisor import AdvisorOptions, AdvisorResult
+from repro.advisor.advisor import AdvisorOptions, AdvisorResult, validate_tuning_limits
 from repro.advisor.benefit import CostModelRequest
 from repro.advisor.candidates import CandidateGenerator, prune_write_dominated
 from repro.advisor.greedy import SelectionStatistics
@@ -84,6 +85,40 @@ from repro.util.fingerprint import index_set_fingerprint, query_fingerprint
 #: fingerprint).  Everything that can make a cache unusable is in the key, so
 #: pool lookups never return stale caches.
 CacheKey = Tuple[str, str, Optional[str]]
+
+
+def _call_selector_factory(factory, catalog, cost_model, options: AdvisorOptions):
+    """Invoke a selector factory, passing ``options`` when it accepts them.
+
+    The registry's factory contract is positional ``(catalog, cost_model,
+    space_budget_bytes, min_relative_benefit)``; factories that declare an
+    ``options`` keyword (or ``**kwargs``) additionally receive the effective
+    :class:`AdvisorOptions`, which is how the ILP selector learns its
+    ``ilp_gap``/``ilp_time_limit`` without breaking third-party factories
+    registered against the original signature.
+    """
+    try:
+        parameters = inspect.signature(factory).parameters
+        accepts_options = "options" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        accepts_options = False
+    if accepts_options:
+        return factory(
+            catalog,
+            cost_model,
+            options.space_budget_bytes,
+            options.min_relative_benefit,
+            options=options,
+        )
+    return factory(
+        catalog,
+        cost_model,
+        options.space_budget_bytes,
+        options.min_relative_benefit,
+    )
 
 
 # -- candidate policies ------------------------------------------------------------
@@ -243,6 +278,9 @@ class TuningSession:
         self._model = None
         self._model_signature: Optional[tuple] = None
         self.statistics = SessionStatistics()
+        #: The most recent recommend outcome (for the serve ``stats`` op's
+        #: selector telemetry -- selector, optimality gap, solver nodes).
+        self.last_result: Optional[AdvisorResult] = None
         if queries:
             self.add_queries(queries)
 
@@ -365,8 +403,7 @@ class TuningSession:
         happens -- the next :meth:`recommend` re-runs selection on the warm
         engines.
         """
-        if space_budget_bytes <= 0:
-            raise AdvisorError(f"space budget must be positive, got {space_budget_bytes}")
+        validate_tuning_limits(space_budget_bytes=space_budget_bytes)
         self._options = dataclasses.replace(
             self._options, space_budget_bytes=space_budget_bytes
         )
@@ -425,11 +462,11 @@ class TuningSession:
         )
 
         selector_factory = SELECTORS.get(options.selector)
-        selector = selector_factory(
+        selector = _call_selector_factory(
+            selector_factory,
             self._catalog,
             cost_model,
-            options.space_budget_bytes,
-            options.min_relative_benefit,
+            options,
         )
         per_query_before = cost_model.per_query_costs([])
         cost_before = cost_model.weighted_total(per_query_before)
@@ -460,7 +497,11 @@ class TuningSession:
             selection_candidate_evaluations=selection_stats.candidate_evaluations,
             selection_query_evaluations=selection_stats.query_evaluations,
             candidates_pruned_for_writes=pruned_for_writes,
+            optimality_gap=selection_stats.optimality_gap,
+            nodes_explored=selection_stats.nodes_explored,
+            incumbent_source=selection_stats.incumbent_source,
         )
+        self.last_result = result
         self.statistics.recommend_calls += 1
         after = self.statistics
         return RecommendResponse(
@@ -696,6 +737,10 @@ class TuningSession:
             overrides["max_candidates"] = request.max_candidates
         if request.min_relative_benefit is not None:
             overrides["min_relative_benefit"] = request.min_relative_benefit
+        if request.ilp_gap is not None:
+            overrides["ilp_gap"] = request.ilp_gap
+        if request.ilp_time_limit is not UNSET:
+            overrides["ilp_time_limit"] = request.ilp_time_limit
         if request.statement_weights is not None:
             # Same validation set_weights applies: a typo'd name must fail
             # loudly, not silently price the workload without the weight.

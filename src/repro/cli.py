@@ -6,10 +6,12 @@ requested catalog and drives it, so the CLI and library share one
 implementation:
 
 * ``explain``        -- optimize a SQL query and print the plan,
-* ``recommend``      -- run the greedy index advisor over a workload
-  (``--selector`` picks the exhaustive or the CELF-style lazy loop,
-  ``--engine`` picks the cache evaluation engine -- compiled/vectorized by
-  default, ``scalar`` for the original per-slot walk),
+* ``recommend``      -- run the index advisor over a workload
+  (``--selector`` picks the exhaustive greedy loop, the CELF-style lazy
+  loop or the ILP solver -- ``--selector ilp`` proves optimality within
+  ``--gap``/``--time-limit``; ``--engine`` picks the cache evaluation
+  engine -- compiled/vectorized by default, ``scalar`` for the original
+  per-slot walk),
 * ``cache``          -- build the INUM/PINUM plan cache for a query and
   report its statistics (optionally saving it to JSON),
 * ``cache-workload`` -- build the plan caches of a whole workload at once
@@ -121,6 +123,16 @@ def _parse_weights(pairs: Optional[Sequence[str]]) -> Optional[dict]:
     return weights
 
 
+def _ilp_overrides(args: argparse.Namespace) -> dict:
+    """``--gap``/``--time-limit`` as AdvisorOptions overrides (when given)."""
+    overrides = {}
+    if getattr(args, "gap", None) is not None:
+        overrides["ilp_gap"] = args.gap
+    if getattr(args, "time_limit", None) is not None:
+        overrides["ilp_time_limit"] = args.time_limit
+    return overrides
+
+
 def _build_session(args: argparse.Namespace, options: AdvisorOptions) -> TuningSession:
     """A session over the requested catalog, loaded with the requested queries."""
     catalog, builtin = _load_catalog(args.catalog, args.seed)
@@ -167,6 +179,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             engine=args.engine,
             candidate_policy=args.candidate_policy,
             statement_weights=weights,
+            **_ilp_overrides(args),
         ),
     )
     queries = session.queries
@@ -298,6 +311,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             engine=args.engine,
             candidate_policy=args.candidate_policy,
             statement_weights=_parse_weights(args.weight),
+            **_ilp_overrides(args),
         ),
     )
     return frontend.serve(sys.stdin, sys.stdout)
@@ -335,10 +349,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width for the per-query cache builds")
         sub.add_argument("--cache-dir",
                          help="persistent cache-store directory reused across runs")
-        sub.add_argument("--selector", choices=["exhaustive", "lazy"], default="lazy",
-                         help="greedy search variant: the paper's exhaustive loop or "
-                              "the CELF-style lazy loop (identical picks, far fewer "
-                              "evaluations)")
+        sub.add_argument("--selector", choices=["exhaustive", "lazy", "ilp"],
+                         default="lazy",
+                         help="index-selection search: the paper's exhaustive greedy "
+                              "loop, the CELF-style lazy loop (identical picks, far "
+                              "fewer evaluations) or the CoPhy-style ILP solver "
+                              "(provably optimal within --gap/--time-limit, never "
+                              "worse than lazy)")
+        sub.add_argument("--gap", type=float, default=None, metavar="FRACTION",
+                         help="relative optimality gap the ilp selector may stop at "
+                              "(default 0: prove optimality)")
+        sub.add_argument("--time-limit", type=float, default=None, metavar="SECONDS",
+                         help="wall-clock budget for the ilp solver; on expiry the "
+                              "best selection found so far is returned with its "
+                              "proven gap (default 60)")
         sub.add_argument("--engine", choices=["auto", "numpy", "python", "scalar"],
                          default="auto",
                          help="cache evaluation engine: compiled (numpy-vectorized "

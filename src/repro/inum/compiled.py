@@ -428,6 +428,18 @@ class NumpyCacheEngine(CompiledCostEngine):
         ]
 
 
+def export_layout(cache: InumCache) -> _CompiledLayout:
+    """The dense (entries x slot classes x access methods) digest of ``cache``.
+
+    The matrix form the compiled engines evaluate, exposed for consumers
+    that need the raw coefficients rather than an evaluator -- notably the
+    ILP formulation (:mod:`repro.advisor.ilp.formulation`), which compiles
+    the same layout into the objective and constraint rows of a binary
+    integer program.  The layout validates the cache on construction.
+    """
+    return _CompiledLayout(cache)
+
+
 #: Recognised values of the ``backend`` argument of :func:`compile_cache`.
 BACKENDS = ("auto", "numpy", "python")
 

@@ -19,13 +19,15 @@ from repro.util.errors import AdvisorError, ReproError
 class TestRegistry:
     def test_builtin_names_are_listed(self):
         assert set(COST_MODELS.names()) == {"pinum", "inum", "optimizer"}
-        assert set(SELECTORS.names()) == {"lazy", "exhaustive"}
+        assert set(SELECTORS.names()) == {"lazy", "exhaustive", "ilp"}
         assert set(ENGINES.names()) == {"auto", "numpy", "python", "scalar"}
         assert set(CACHE_BUILDERS.names()) == {"pinum", "inum"}
         assert set(CANDIDATE_POLICIES.names()) == {"workload", "per_query"}
 
     def test_unknown_name_lists_registered_choices(self):
-        with pytest.raises(AdvisorError, match=r"unknown selector 'random'.*'exhaustive', 'lazy'"):
+        with pytest.raises(
+            AdvisorError, match=r"unknown selector 'random'.*'exhaustive', 'ilp', 'lazy'"
+        ):
             SELECTORS.validate("random")
 
     def test_get_resolves_lazy_builtins(self):

@@ -186,7 +186,7 @@ class TestWorkloadMutation:
             session.remove_queries(["nope"])
 
     def test_invalid_budget_rejected(self, session):
-        with pytest.raises(AdvisorError, match="must be positive"):
+        with pytest.raises(AdvisorError, match=r"space_budget_bytes must be > 0, got 0"):
             session.set_budget(0)
 
     def test_query_names_track_mutations(self, session):

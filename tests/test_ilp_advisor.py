@@ -1,0 +1,250 @@
+"""End-to-end tests of the ``"ilp"`` selector across the advisor surfaces.
+
+Acceptance criteria of the ILP subsystem:
+
+* on the golden fig-7 workload (star schema, seed 7, 60 candidates, 5 GB)
+  the solver proves optimality -- gap 0 -- within the default time limit,
+  and its configuration is at least as good as lazy-greedy's (here it is
+  strictly better: the greedy pick sequence is provably sub-optimal),
+* on randomized workloads, read-only and mixed, the ILP total benefit is
+  never below lazy-greedy's, whatever the time limit (warm start), and
+* the gap/time-limit knobs flow through options, requests, the serve
+  protocol and the CLI, with the shared telemetry reporting the gap.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.advisor.advisor import AdvisorOptions, AdvisorResult
+from repro.api.requests import RecommendRequest
+from repro.api.serve import ServeFrontend
+from repro.api.session import TuningSession
+from repro.cli import main
+from repro.util.errors import AdvisorError
+from repro.util.units import gigabytes
+
+#: The golden fig-7 configuration (matches tests/test_golden_recommend.py).
+FIG7_MAX_CANDIDATES = 60
+FIG7_BUDGET = gigabytes(5)
+#: Lazy-greedy's fig-7 workload cost after tuning (the golden value).
+FIG7_LAZY_COST_AFTER = 11556761.796832442
+
+
+def _session(star_workload, statements=None, **option_overrides):
+    option_overrides.setdefault("space_budget_bytes", FIG7_BUDGET)
+    option_overrides.setdefault("max_candidates", FIG7_MAX_CANDIDATES)
+    options = AdvisorOptions(**option_overrides)
+    return TuningSession(
+        star_workload.catalog(),
+        statements if statements is not None else star_workload.queries(),
+        options=options,
+    )
+
+
+class TestFig7Acceptance:
+    def test_ilp_proves_optimality_and_beats_lazy_greedy(self, star_workload):
+        session = _session(star_workload, selector="ilp")
+        result = session.recommend().result
+
+        # Proof: gap 0 within the default time limit.
+        assert result.optimality_gap == 0.0
+        assert result.selector == "ilp"
+        assert result.nodes_explored > 0
+        # Never worse than lazy-greedy -- and on fig-7 strictly better,
+        # which is the whole point of the solver: the greedy pick sequence
+        # is provably sub-optimal under the 5 GB knapsack.
+        assert result.workload_cost_after < FIG7_LAZY_COST_AFTER
+        assert result.incumbent_source == "solver"
+        assert result.total_index_bytes <= FIG7_BUDGET
+        assert result.optimality_gap_text() == "0.00% (proved optimal)"
+
+    def test_time_limited_run_reports_valid_gap_and_keeps_warm_start(
+        self, star_workload
+    ):
+        session = _session(star_workload, selector="ilp", ilp_time_limit=0.0)
+        result = session.recommend().result
+        assert result.workload_cost_after <= FIG7_LAZY_COST_AFTER * (1 + 1e-9)
+        assert result.optimality_gap is not None
+        assert 0.0 <= result.optimality_gap <= 1.0
+
+    def test_greedy_selectors_report_no_gap(self, star_workload):
+        session = _session(star_workload, selector="lazy")
+        result = session.recommend().result
+        assert result.optimality_gap is None
+        assert result.nodes_explored == 0
+        assert result.incumbent_source == "n/a"
+        assert "n/a (heuristic selector" in result.optimality_gap_text()
+        assert "optimality gap" in result.summary()
+
+
+class TestIlpNeverWorseThanLazy:
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_read_only_random_subsets(self, star_workload, seed):
+        rng = random.Random(seed)
+        statements = rng.sample(star_workload.queries(), 5)
+        costs = {}
+        for selector in ("lazy", "ilp"):
+            session = _session(
+                star_workload,
+                statements=statements,
+                selector=selector,
+                max_candidates=rng.choice([20, 30]),
+                ilp_time_limit=10.0,
+            )
+            costs[selector] = session.recommend().result.workload_cost_after
+        assert costs["ilp"] <= costs["lazy"] * (1 + 1e-9)
+
+    def test_mixed_workload(self, star_workload):
+        mixed = star_workload.mixed(read_fraction=0.6)
+        costs = {}
+        for selector in ("lazy", "ilp"):
+            session = _session(
+                star_workload,
+                statements=mixed.statements,
+                selector=selector,
+                max_candidates=30,
+                statement_weights=mixed.weights,
+                ilp_time_limit=10.0,
+            )
+            result = session.recommend().result
+            costs[selector] = result.workload_cost_after
+            if selector == "ilp":
+                assert result.optimality_gap is not None
+                assert 0.0 <= result.optimality_gap <= 1.0
+        assert costs["ilp"] <= costs["lazy"] * (1 + 1e-9)
+
+
+class TestOptionPlumbing:
+    def test_request_overrides_select_the_solver(self, star_workload):
+        session = _session(star_workload)  # session default: lazy
+        response = session.recommend(
+            RecommendRequest(selector="ilp", ilp_gap=0.5, ilp_time_limit=5.0)
+        )
+        result = response.result
+        assert result.selector == "ilp"
+        assert result.optimality_gap is not None
+        assert result.optimality_gap <= 0.5 + 1e-12
+        payload = response.to_dict()
+        assert payload["optimality_gap"] == result.optimality_gap
+        assert payload["nodes_explored"] == result.nodes_explored
+        assert payload["incumbent_source"] == result.incumbent_source
+
+    def test_validation_names_offending_fields(self):
+        with pytest.raises(AdvisorError, match="space_budget_bytes must be > 0"):
+            AdvisorOptions(space_budget_bytes=0)
+        with pytest.raises(AdvisorError, match="ilp_gap"):
+            AdvisorOptions(ilp_gap=-0.5)
+        with pytest.raises(AdvisorError, match="ilp_time_limit"):
+            AdvisorOptions(ilp_time_limit=-3)
+        with pytest.raises(AdvisorError, match="ilp_gap.*ilp_time_limit"):
+            AdvisorOptions(ilp_gap=-1, ilp_time_limit=-1)
+        with pytest.raises(AdvisorError, match="space_budget_bytes"):
+            RecommendRequest(space_budget_bytes=-5)
+        with pytest.raises(AdvisorError, match="ilp_gap"):
+            RecommendRequest(ilp_gap=-0.1)
+        with pytest.raises(AdvisorError, match="ilp_time_limit"):
+            RecommendRequest(ilp_time_limit=-1.0)
+        assert RecommendRequest(ilp_time_limit=None).ilp_time_limit is None
+        assert AdvisorOptions(ilp_time_limit=None).ilp_time_limit is None
+
+    def test_ilp_requires_a_cache_backed_cost_model(self):
+        with pytest.raises(AdvisorError, match="cache-backed"):
+            AdvisorOptions(selector="ilp", cost_model="optimizer")
+
+
+class TestServeSurface:
+    def test_recommend_and_stats_carry_the_gap(self, tmp_path):
+        frontend = ServeFrontend(default_catalog="star")
+        response = json.loads(frontend.handle_line(json.dumps({
+            "id": 1,
+            "op": "recommend",
+            "params": {"selector": "ilp", "max_candidates": 20,
+                       "ilp_time_limit": 10.0},
+        })))
+        assert response["ok"] is True
+        assert response["result"]["optimality_gap"] == 0.0
+        assert response["result"]["incumbent_source"] in ("lazy-greedy", "solver")
+
+        stats = json.loads(frontend.handle_line(json.dumps({"id": 2, "op": "stats"})))
+        last = stats["result"]["last_recommend"]
+        assert last["selector"] == "ilp"
+        assert last["optimality_gap"] == 0.0
+        assert last["optimality_gap_text"] == "0.00% (proved optimal)"
+
+    def test_stats_report_na_for_greedy(self):
+        frontend = ServeFrontend(default_catalog="star")
+        frontend.handle_line(json.dumps({
+            "id": 1, "op": "recommend", "params": {"max_candidates": 12},
+        }))
+        stats = json.loads(frontend.handle_line(json.dumps({"id": 2, "op": "stats"})))
+        last = stats["result"]["last_recommend"]
+        assert last["selector"] == "lazy"
+        assert last["optimality_gap"] is None
+        assert "n/a" in last["optimality_gap_text"]
+
+    def test_bad_ilp_params_answered_as_errors(self):
+        frontend = ServeFrontend(default_catalog="star")
+        response = json.loads(frontend.handle_line(json.dumps({
+            "id": 3, "op": "recommend", "params": {"ilp_gap": -1},
+        })))
+        assert response["ok"] is False
+        assert "ilp_gap" in response["error"]["message"]
+
+
+class TestCli:
+    def test_recommend_selector_ilp(self, capsys):
+        exit_code = main([
+            "recommend", "--catalog", "star", "--max-candidates", "20",
+            "--selector", "ilp", "--gap", "0", "--time-limit", "30",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "proved optimal" in output
+        assert "ilp solver" in output
+
+    def test_recommend_lazy_prints_na_gap(self, capsys):
+        exit_code = main([
+            "recommend", "--catalog", "star", "--max-candidates", "12",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "optimality gap" in output
+        assert "n/a (heuristic selector" in output
+
+    def test_invalid_gap_flag_fails_cleanly(self, capsys):
+        exit_code = main([
+            "recommend", "--catalog", "star", "--selector", "ilp", "--gap", "-2",
+        ])
+        assert exit_code == 2
+        assert "ilp_gap" in capsys.readouterr().err
+
+
+class TestStepReporting:
+    def test_solver_improvement_is_reported_as_ordered_steps(self, star_workload):
+        session = _session(star_workload, selector="ilp")
+        result = session.recommend().result
+        # The solver beat the warm start, so the steps were re-derived by
+        # marginal benefit; they must cover exactly the selected set and
+        # their cumulative sizes must stay within the budget.
+        assert {step.chosen.key for step in result.steps} == {
+            index.key for index in result.selected_indexes
+        }
+        assert result.steps[-1].cumulative_size_bytes == result.total_index_bytes
+        assert result.steps[-1].cumulative_size_bytes <= FIG7_BUDGET
+        assert result.steps[-1].workload_cost_after == pytest.approx(
+            result.workload_cost_after, rel=1e-9
+        )
+
+
+def test_advisor_result_defaults_stay_heuristic():
+    result = AdvisorResult(
+        selected_indexes=[], steps=[], candidate_count=0,
+        workload_cost_before=1.0, workload_cost_after=1.0,
+        per_query_cost_before={}, per_query_cost_after={}, total_index_bytes=0,
+    )
+    assert result.optimality_gap is None
+    assert result.incumbent_source == "n/a"
