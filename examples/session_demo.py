@@ -13,12 +13,19 @@ for what actually changed:
 3. ``recommend()`` again -- zero cache builds, selection re-runs warm,
 4. ``add_queries()`` one new query and re-tune -- exactly one new cache is
    built, everything else is reused,
-5. shrink the budget with ``set_budget()`` -- still zero builds, and
+5. shrink the budget with ``set_budget()`` -- still zero builds,
 6. price an index set (``evaluate``) and double-check it against the real
-   optimizer (``what_if``).
+   optimizer (``what_if``), and
+7. replay the same flow over TCP: boot the concurrent
+   :class:`~repro.api.server.TuningServer` in-process and drive two named
+   sessions through sockets -- the second tenant's ``recommend`` performs
+   zero cache builds because both sessions hang under one shared read-only
+   cache tier.
 
 Run with:  python examples/session_demo.py
 """
+
+import asyncio
 
 from repro.advisor import AdvisorOptions
 from repro.api.requests import EvaluateRequest, WhatIfRequest
@@ -91,6 +98,43 @@ def main() -> None:
     stats = session.statistics
     print(f"\nsession totals : {stats.recommend_calls} recommends, "
           f"{stats.caches_built} caches built, {stats.caches_reused} reused")
+
+    # 7. The same service over TCP: N concurrent tenants, one shared tier.
+    asyncio.run(tcp_demo())
+
+
+async def tcp_demo() -> None:
+    from repro.api.server import TuningClient, TuningServer
+
+    server = TuningServer(default_catalog="tpch")
+    await server.start()  # port 0 -> an ephemeral port
+    print(f"\n=== TCP serve on 127.0.0.1:{server.port} (shared tier) ===")
+    try:
+        async with TuningClient("127.0.0.1", server.port,
+                                session_id="tenant-a") as client:
+            response = await client.call("recommend")
+            counters = response["result"]["session"]
+            print(f"tenant-a recommend: {counters['caches_built']} built, "
+                  f"{counters['caches_shared']} from shared tier")
+
+        # A different session over the same catalog: every cache is adopted
+        # from the shared tier -- zero builds, selection only.
+        async with TuningClient("127.0.0.1", server.port,
+                                session_id="tenant-b") as client:
+            response = await client.call("recommend")
+            counters = response["result"]["session"]
+            print(f"tenant-b recommend: {counters['caches_built']} built, "
+                  f"{counters['caches_shared']} from shared tier")
+            assert counters["caches_built"] == 0
+
+            stats = (await client.call("server_stats"))["result"]
+            tier = stats["tier"]
+            print(f"server: {stats['sessions']} sessions, tier holds "
+                  f"{tier['caches_published']} caches / "
+                  f"{tier['engines_published']} engines "
+                  f"({tier['cache_hits']} shared hits)")
+    finally:
+        await server.stop()
 
 
 if __name__ == "__main__":

@@ -8,7 +8,11 @@
 * :mod:`repro.api.registry` -- plugin registries for cost models,
   selectors, engines, cache builders and candidate policies.
 * :mod:`repro.api.serve` -- the newline-delimited-JSON ``repro serve``
-  frontend.
+  frontend (stdio, one client).
+* :mod:`repro.api.server` -- the concurrent asyncio TCP server
+  (``repro serve --tcp``) and its reference client.
+* :mod:`repro.api.tier` -- the process-wide shared read-only cache tier
+  concurrent sessions publish their builds into.
 
 Attributes resolve lazily (PEP 562): low-level modules import
 ``repro.api.registry`` during their own initialisation, so this package
@@ -53,6 +57,11 @@ _EXPORTS = {
     "per_query_candidate_policy": "repro.api.session",
     # serve
     "ServeFrontend": "repro.api.serve",
+    # concurrent server + shared tier
+    "TuningServer": "repro.api.server",
+    "TuningClient": "repro.api.server",
+    "SharedCacheTier": "repro.api.tier",
+    "TierNamespace": "repro.api.tier",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -46,6 +46,7 @@ before any optimizer work is spent.
 from __future__ import annotations
 
 import importlib
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -59,12 +60,19 @@ class Registry:
     and appears in error messages.  ``builtins`` maps names to lazy
     ``"module.path:attribute"`` references resolved on first use, so the
     registry itself has no import-time dependency on the implementations.
+
+    Registries are task-safe: lazy built-in resolution and eager
+    registration both happen under a lock, so concurrent sessions resolving
+    the same name for the first time cannot race the import, and lookups of
+    already-resolved entries stay lock-free (the entry dict is only ever
+    grown, never rebound mid-read).
     """
 
     def __init__(self, kind: str, builtins: Optional[Dict[str, str]] = None) -> None:
         self.kind = kind
         self._builtins: Dict[str, str] = dict(builtins or {})
         self._entries: Dict[str, Any] = {}
+        self._lock = threading.RLock()
 
     def __contains__(self, name: object) -> bool:
         return name in self._entries or name in self._builtins
@@ -88,18 +96,22 @@ class Registry:
     def get(self, name: str) -> Any:
         """The implementation registered under ``name`` (resolved lazily)."""
         self.validate(name)
-        if name not in self._entries:
-            reference = self._builtins[name]
-            module_name, _, attribute = reference.partition(":")
-            try:
-                module = importlib.import_module(module_name)
-                self._entries[name] = getattr(module, attribute)
-            except (ImportError, AttributeError) as error:  # pragma: no cover
-                raise AdvisorError(
-                    f"built-in {self.kind} {name!r} could not be loaded "
-                    f"from {reference!r}: {error}"
-                ) from error
-        return self._entries[name]
+        entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        with self._lock:
+            if name not in self._entries:
+                reference = self._builtins[name]
+                module_name, _, attribute = reference.partition(":")
+                try:
+                    module = importlib.import_module(module_name)
+                    self._entries[name] = getattr(module, attribute)
+                except (ImportError, AttributeError) as error:  # pragma: no cover
+                    raise AdvisorError(
+                        f"built-in {self.kind} {name!r} could not be loaded "
+                        f"from {reference!r}: {error}"
+                    ) from error
+            return self._entries[name]
 
     def register(
         self, name: str, value: Any = None, *, replace: bool = False
@@ -111,12 +123,13 @@ class Registry:
         """
 
         def _store(stored: Any) -> Any:
-            if not replace and name in self:
-                raise AdvisorError(
-                    f"{self.kind} {name!r} is already registered "
-                    "(pass replace=True to override it)"
-                )
-            self._entries[name] = stored
+            with self._lock:
+                if not replace and name in self:
+                    raise AdvisorError(
+                        f"{self.kind} {name!r} is already registered "
+                        "(pass replace=True to override it)"
+                    )
+                self._entries[name] = stored
             return stored
 
         if value is None:
@@ -125,7 +138,8 @@ class Registry:
 
     def unregister(self, name: str) -> None:
         """Remove an eagerly-registered entry (built-ins are restored)."""
-        self._entries.pop(name, None)
+        with self._lock:
+            self._entries.pop(name, None)
 
 
 @dataclass(frozen=True)

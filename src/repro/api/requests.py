@@ -195,8 +195,10 @@ class RecommendResponse:
     (selected indexes, per-query costs, selection steps); the counters next
     to it say how much of the request was answered from session-warm state:
     ``caches_built`` per-query caches cost fresh optimizer work this call,
-    ``caches_from_store`` came from the persistent store, and
-    ``caches_reused`` were already warm in the session.
+    ``caches_from_store`` came from the persistent store,
+    ``caches_reused`` were already warm in the session, and
+    ``caches_shared`` were adopted from the process-wide
+    :class:`~repro.api.tier.SharedCacheTier` (another session's build).
     """
 
     result: Any
@@ -205,6 +207,7 @@ class RecommendResponse:
     caches_from_store: int = 0
     caches_deduplicated: int = 0
     caches_reused: int = 0
+    caches_shared: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form (the ``repro serve`` wire format)."""
@@ -232,6 +235,7 @@ class RecommendResponse:
                 "caches_from_store": self.caches_from_store,
                 "caches_deduplicated": self.caches_deduplicated,
                 "caches_reused": self.caches_reused,
+                "caches_shared": self.caches_shared,
             },
         }
 

@@ -47,6 +47,7 @@ from repro.api.requests import (
 )
 from repro.advisor.benefit import validate_statement_weight
 from repro.api.session import TuningSession
+from repro.api.tier import SharedCacheTier
 from repro.query.parser import parse_statement
 from repro.util.errors import AdvisorError, ReproError
 from repro.workloads import builtin_catalog_factory
@@ -82,6 +83,7 @@ class ServeFrontend:
         default_catalog: str = "star",
         seed: int = 7,
         options: Optional[AdvisorOptions] = None,
+        shared_tier: Optional[SharedCacheTier] = None,
     ) -> None:
         if default_catalog not in SERVABLE_CATALOGS:
             raise AdvisorError(
@@ -91,6 +93,11 @@ class ServeFrontend:
         self._default_catalog = default_catalog
         self._default_seed = seed
         self._options = options or AdvisorOptions()
+        #: When set (the TCP server does), sessions share one read-only tier
+        #: of plan caches / engines / what-if results keyed by catalog
+        #: fingerprint.  ``None`` keeps the stdio frontend's behaviour (and
+        #: wire format) exactly as before.
+        self._shared_tier = shared_tier
         self._sessions: Dict[Tuple[str, int], TuningSession] = {}
         self._shutdown = False
 
@@ -114,6 +121,7 @@ class ServeFrontend:
                 workload,
                 options=self._options,
                 catalog_factory=functools.partial(builtin_catalog_factory, name, seed_value),
+                shared_tier=self._shared_tier,
             )
             self._sessions[key] = session
         return session
@@ -283,6 +291,7 @@ class ServeFrontend:
             "caches_from_store": statistics.caches_from_store,
             "caches_deduplicated": statistics.caches_deduplicated,
             "caches_reused": statistics.caches_reused,
+            "caches_shared": statistics.caches_shared,
             "caches_warm": session.cached_query_count(),
             "whatif_hits": whatif.hits,
             "whatif_misses": whatif.misses,

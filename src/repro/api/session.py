@@ -51,6 +51,7 @@ from repro.advisor.benefit import CostModelRequest
 from repro.advisor.candidates import CandidateGenerator, prune_write_dominated
 from repro.advisor.greedy import SelectionStatistics
 from repro.api.registry import CACHE_BUILDERS, CANDIDATE_POLICIES, COST_MODELS, SELECTORS
+from repro.api.tier import SharedCacheTier, TierNamespace
 from repro.api.requests import (
     UNSET,
     EvaluateRequest,
@@ -214,8 +215,10 @@ class SessionStatistics:
 
     ``caches_built`` cost fresh optimizer work, ``caches_from_store`` were
     loaded from the persistent store, ``caches_deduplicated`` shared an
-    identical-SQL sibling's build, and ``caches_reused`` were answered from
-    the session's in-memory pool without touching builder or store.
+    identical-SQL sibling's build, ``caches_reused`` were answered from
+    the session's in-memory pool without touching builder or store, and
+    ``caches_shared`` came from the process-wide
+    :class:`~repro.api.tier.SharedCacheTier` (another session's build).
     """
 
     recommend_calls: int = 0
@@ -223,6 +226,7 @@ class SessionStatistics:
     caches_from_store: int = 0
     caches_deduplicated: int = 0
     caches_reused: int = 0
+    caches_shared: int = 0
 
     def snapshot(self) -> "SessionStatistics":
         """A copy (for before/after deltas in tests and benchmarks)."""
@@ -258,23 +262,35 @@ class TuningSession:
         catalog_factory: Optional[Callable[[], Catalog]] = None,
         generator: Optional[CandidateGenerator] = None,
         max_pooled_caches: int = DEFAULT_MAX_POOLED_CACHES,
+        shared_tier: Optional[SharedCacheTier] = None,
     ) -> None:
         self._catalog = catalog
         self._options = options or AdvisorOptions()
         self._optimizer = optimizer or Optimizer(catalog)
         self._catalog_factory = catalog_factory
         self._generator = generator or CandidateGenerator(catalog)
-        self._store = (
-            CacheStore(self._options.cache_dir, catalog)
-            if self._options.cache_dir is not None
-            else None
+        #: The process-wide shared read-only tier (None for a solo session).
+        #: The session itself stays single-threaded; the tier is what makes
+        #: N sessions share builds without sharing mutable state.
+        self._shared_tier = shared_tier
+        self._tier_ns = shared_tier.namespace_for(catalog) if shared_tier is not None else None
+        if self._options.cache_dir is None:
+            self._store = None
+        elif shared_tier is not None:
+            self._store = shared_tier.store_for(self._options.cache_dir, catalog)
+        else:
+            self._store = CacheStore(self._options.cache_dir, catalog)
+        self._call_cache = WhatIfCallCache(
+            self._optimizer,
+            shared=self._tier_ns.whatif if self._tier_ns is not None else None,
         )
-        self._call_cache = WhatIfCallCache(self._optimizer)
         self._whatif_cost_memo: Dict[tuple, float] = {}
         self._queries: Dict[str, Statement] = {}
         self._max_pooled_caches = max(1, max_pooled_caches)
         self._cache_pool: Dict[CacheKey, InumCache] = {}
-        self._engine_pool: Dict[Tuple[str, str], object] = {}
+        self._engine_pool = (
+            self._tier_ns.engine_map() if self._tier_ns is not None else {}
+        )
         self._model = None
         self._model_signature: Optional[tuple] = None
         self.statistics = SessionStatistics()
@@ -310,6 +326,16 @@ class TuningSession:
     def call_cache(self) -> WhatIfCallCache:
         """The session-lifetime memoizing what-if layer."""
         return self._call_cache
+
+    @property
+    def shared_tier(self) -> Optional[SharedCacheTier]:
+        """The process-wide shared tier (``None`` for a solo session)."""
+        return self._shared_tier
+
+    @property
+    def tier_namespace(self) -> Optional[TierNamespace]:
+        """This session's catalog namespace in the shared tier (if any)."""
+        return self._tier_ns
 
     @property
     def queries(self) -> List[Statement]:
@@ -513,6 +539,7 @@ class TuningSession:
             caches_from_store=after.caches_from_store - before.caches_from_store,
             caches_deduplicated=after.caches_deduplicated - before.caches_deduplicated,
             caches_reused=after.caches_reused - before.caches_reused,
+            caches_shared=after.caches_shared - before.caches_shared,
         )
 
     def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
@@ -637,11 +664,16 @@ class TuningSession:
         )
         result = workload_builder.build(workload, per_query_candidates=per_query)
         active = set()
+        promoted: Dict[CacheKey, InumCache] = {}
         for query in workload:
             key = self._cache_key(query, builder, per_query[query.name])
             self._cache_pool[key] = result.caches[query.name]
+            promoted[key] = result.caches[query.name]
             active.add(key)
         self._prune_pools(active)
+        if self._tier_ns is not None:
+            self._tier_ns.promote_caches(promoted)
+            self._call_cache.publish_shared()
         report = result.report
         self.statistics.caches_built += report.queries_built
         self.statistics.caches_from_store += report.queries_from_store
@@ -671,6 +703,12 @@ class TuningSession:
         if cached is not None:
             self.statistics.caches_reused += 1
             return self._attach(cached, query)
+        if self._tier_ns is not None:
+            shared = self._tier_ns.lookup_cache(key)
+            if shared is not None:
+                self._cache_pool[key] = shared
+                self.statistics.caches_shared += 1
+                return self._attach(shared, query)
         builder_class = CACHE_BUILDERS.get(builder)
         instance = builder_class(
             self._optimizer,
@@ -691,6 +729,9 @@ class TuningSession:
         self._prune_pools({key})
         if self._store is not None:
             self._store.save(query, cache, builder, candidate_list)
+        if self._tier_ns is not None:
+            self._tier_ns.promote_caches({key: cache})
+            self._call_cache.publish_shared()
         self.statistics.caches_built += 1
         return cache
 
@@ -818,8 +859,24 @@ class TuningSession:
             query.name: self._cache_key(query, builder, plan.per_query[query.name])
             for query in workload
         }
-        missing = [query for query in workload if keys[query.name] not in self._cache_pool]
-        self.statistics.caches_reused += len(workload) - len(missing)
+        missing: List[Query] = []
+        for query in workload:
+            if keys[query.name] in self._cache_pool:
+                self.statistics.caches_reused += 1
+                continue
+            shared = (
+                self._tier_ns.lookup_cache(keys[query.name])
+                if self._tier_ns is not None
+                else None
+            )
+            if shared is not None:
+                # Another session already paid this build: adopt the shared
+                # object (read-only; DML maintenance is applied on a
+                # detached copy, see _apply_maintenance).
+                self._cache_pool[keys[query.name]] = shared
+                self.statistics.caches_shared += 1
+                continue
+            missing.append(query)
 
         preparation_calls = 0
         preparation_seconds = 0.0
@@ -846,6 +903,11 @@ class TuningSession:
             self.statistics.caches_built += report.queries_built
             self.statistics.caches_from_store += report.queries_from_store
             self.statistics.caches_deduplicated += report.queries_deduplicated
+            if self._tier_ns is not None:
+                self._tier_ns.promote_caches(
+                    {keys[query.name]: result.caches[query.name] for query in missing}
+                )
+                self._call_cache.publish_shared()
 
         self._prune_pools(set(keys.values()))
         caches = {
@@ -879,6 +941,10 @@ class TuningSession:
             profile = profile_for(
                 statement, plan.pool, self._catalog, self._call_cache
             )
+            if self._tier_ns is not None:
+                # Never write a pool-specific profile onto a tier-shared
+                # object: detach first (entries/access costs stay shared).
+                caches[statement.name] = caches[statement.name].detached_copy()
             caches[statement.name].maintenance = profile
             base_id = cache_ids[statement.name]
             new_id = f"{base_id}|maint:{profile.digest()}"

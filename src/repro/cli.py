@@ -58,8 +58,9 @@ from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.advisor import AdvisorOptions, CandidateGenerator
 from repro.advisor.candidates import DEFAULT_MAX_CANDIDATES
@@ -68,7 +69,7 @@ from repro.api.session import TuningSession
 from repro.bench.harness import ExperimentTable
 from repro.inum.serialization import save_cache
 from repro.query import Query, parse_statement
-from repro.util.errors import ReproError
+from repro.util.errors import AdvisorError, ReproError
 from repro.util.units import format_bytes, gigabytes
 from repro.workloads import StarSchemaWorkload, build_tpch_like_catalog, builtin_catalog_factory
 
@@ -297,22 +298,53 @@ def _cmd_cache_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tcp_endpoint(value: str) -> Tuple[str, int]:
+    """Split ``HOST:PORT`` (``:PORT`` defaults the host to localhost)."""
+    host, separator, port_text = value.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise AdvisorError(
+            f"--tcp expects HOST:PORT (e.g. 127.0.0.1:7683), got {value!r}"
+        )
+    return host or "127.0.0.1", int(port_text)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    options = AdvisorOptions(
+        space_budget_bytes=gigabytes(args.budget_gb),
+        cost_model=args.cost_model,
+        max_candidates=args.max_candidates,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        selector=args.selector,
+        engine=args.engine,
+        candidate_policy=args.candidate_policy,
+        statement_weights=_parse_weights(args.weight),
+        **_ilp_overrides(args),
+    )
+    if args.tcp is not None:
+        import asyncio
+
+        from repro.api.server import TuningServer
+
+        host, port = _parse_tcp_endpoint(args.tcp)
+        server = TuningServer(
+            host,
+            port,
+            default_catalog=args.catalog,
+            seed=args.seed,
+            options=options,
+            workers=args.workers,
+        )
+
+        def announce(event: dict) -> None:
+            print(json.dumps(event), flush=True)
+
+        asyncio.run(server.run(announce))
+        return 0
     frontend = ServeFrontend(
         default_catalog=args.catalog,
         seed=args.seed,
-        options=AdvisorOptions(
-            space_budget_bytes=gigabytes(args.budget_gb),
-            cost_model=args.cost_model,
-            max_candidates=args.max_candidates,
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            selector=args.selector,
-            engine=args.engine,
-            candidate_policy=args.candidate_policy,
-            statement_weights=_parse_weights(args.weight),
-            **_ilp_overrides(args),
-        ),
+        options=options,
     )
     return frontend.serve(sys.stdin, sys.stdout)
 
@@ -420,6 +452,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--catalog", choices=["star", "tpch"], default="star",
                        help="default catalog served (requests may name others)")
     serve.add_argument("--seed", type=int, default=7, help="workload generator seed")
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--stdio", action="store_true",
+        help="serve one client over stdin/stdout (the default transport)")
+    transport.add_argument(
+        "--tcp", metavar="HOST:PORT", default=None,
+        help="serve many concurrent clients over TCP (port 0 binds an "
+             "ephemeral port, announced as a JSON line on stdout); sessions "
+             "share one read-only cache tier")
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for --tcp (cross-session parallelism cap)")
     add_tuning_options(serve)
     serve.set_defaults(handler=_cmd_serve)
     return parser

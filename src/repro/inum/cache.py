@@ -187,6 +187,24 @@ class InumCache:
         """The canonical entry cached for ``ioc`` (if any)."""
         return self._by_ioc.get(ioc)
 
+    def detached_copy(self) -> "InumCache":
+        """A shallow copy sharing this cache's immutable build artifacts.
+
+        Entries, access costs and build statistics are shared by reference
+        (they never change after a build); the copy can take its *own*
+        ``maintenance`` profile without touching the original.  Sessions
+        over a :class:`~repro.api.tier.SharedCacheTier` detach DML caches
+        this way before applying their pool-specific maintenance, so the
+        shared object stays pristine for every other tenant.
+        """
+        clone = InumCache(self.query)
+        clone.entries = self.entries
+        clone.access_costs = self.access_costs
+        clone.build_stats = self.build_stats
+        clone.maintenance = self.maintenance
+        clone._by_ioc = self._by_ioc
+        return clone
+
     # -- inspection ---------------------------------------------------------------
 
     @property

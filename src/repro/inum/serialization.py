@@ -16,8 +16,10 @@ cache therefore answers `estimate()` identically but reports
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
@@ -117,6 +119,56 @@ def load_cache(path: str, query: Query) -> InumCache:
 # -- the persistent cache store ----------------------------------------------------
 
 
+class PageCache:
+    """A shared in-memory cache of parsed store pages, keyed by file path.
+
+    N concurrent sessions over one warm :class:`CacheStore` would otherwise
+    each re-read and re-parse the same JSON pages from disk.  Entries record
+    the file's mtime at parse time and are invalidated when the file changes,
+    so an external writer (another process filling the same store) is picked
+    up on the next load.  Cached envelopes are treated as **read-only** by
+    every consumer (:meth:`CacheStore._unwrap` copies before renaming), which
+    is what makes one parsed page safe to share across sessions.
+    """
+
+    def __init__(self, max_pages: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._max_pages = max(1, max_pages)
+        self._pages: Dict[str, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def get(self, path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+        """The cached envelope for ``path``, or ``None`` when absent/stale."""
+        entry = self._pages.get(str(path))
+        if entry is not None:
+            mtime, envelope = entry
+            try:
+                if os.stat(path).st_mtime_ns == mtime:
+                    self.hits += 1
+                    return envelope
+            except OSError:
+                pass
+        self.misses += 1
+        return None
+
+    def put(self, path: Union[str, Path], envelope: Dict[str, Any]) -> None:
+        """Record a freshly parsed (or freshly written) page."""
+        try:
+            mtime = os.stat(path).st_mtime_ns
+        except OSError:
+            return
+        with self._lock:
+            if len(self._pages) >= self._max_pages:
+                # Age out the oldest entries (dicts preserve insertion order).
+                for stale in list(self._pages)[: len(self._pages) - self._max_pages + 1]:
+                    del self._pages[stale]
+            self._pages[str(path)] = (mtime, envelope)
+
+
 class CacheStoreStatistics:
     """Bookkeeping of one :class:`CacheStore` instance's activity."""
 
@@ -153,10 +205,21 @@ class CacheStore:
     unreadable files are treated as misses, never as errors.
     """
 
-    def __init__(self, root: Union[str, Path], catalog: Catalog) -> None:
+    #: Process-wide counter so concurrent saves never share a scratch file.
+    _scratch_ids = itertools.count()
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        catalog: Catalog,
+        page_cache: Optional[PageCache] = None,
+    ) -> None:
         self.root = Path(root)
         self.catalog_fingerprint = catalog_fingerprint(catalog)
         self.statistics = CacheStoreStatistics()
+        #: Optional shared in-memory page cache (see :class:`PageCache`);
+        #: the concurrent server hands every session's store the same one.
+        self.page_cache = page_cache
 
     # -- paths ------------------------------------------------------------
 
@@ -185,12 +248,16 @@ class CacheStore:
         about the new candidates) and is rejected.
         """
         path = self.path_for(query, builder)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                envelope = json.load(handle)
-        except (OSError, ValueError):
-            self.statistics.misses += 1
-            return None
+        envelope = self.page_cache.get(path) if self.page_cache is not None else None
+        if envelope is None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except (OSError, ValueError):
+                self.statistics.misses += 1
+                return None
+            if self.page_cache is not None:
+                self.page_cache.put(path, envelope)
         try:
             cache = self._unwrap(envelope, query, builder, candidate_indexes)
         except PlanningError:
@@ -223,7 +290,10 @@ class CacheStore:
             "candidate_fingerprint": index_set_fingerprint(candidate_indexes),
             "cache": cache_to_dict(cache),
         }
-        scratch = path.with_suffix(".tmp")
+        # A unique scratch name per write: two sessions saving the same page
+        # concurrently must not interleave into one half-written temp file
+        # (each os.replace is atomic, so last-writer-wins is safe).
+        scratch = path.with_suffix(f".tmp{next(self._scratch_ids)}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(scratch, "w", encoding="utf-8") as handle:
@@ -231,6 +301,8 @@ class CacheStore:
             os.replace(scratch, path)
         except OSError as error:
             raise PlanningError(f"cannot write cache store file {path}: {error}") from None
+        if self.page_cache is not None:
+            self.page_cache.put(path, envelope)
         self.statistics.saves += 1
         return path
 

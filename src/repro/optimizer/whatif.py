@@ -15,6 +15,7 @@ instead of re-optimizing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -157,6 +158,105 @@ def _hooks_signature(hooks: Optional[OptimizerHooks]) -> HooksSignature:
     )
 
 
+class SharedWhatIfResults:
+    """Cross-session, read-mostly what-if memo for concurrent serving.
+
+    Concurrent :class:`~repro.api.session.TuningSession`\\ s over the same
+    catalog ask the optimizer many identical questions.  This store lets N
+    sessions share one set of answers without sharing mutable state:
+
+    * **Reads are lock-free.**  Readers only ever touch ``_snapshot``, an
+      immutable published dict that is *replaced*, never mutated, so a read
+      can race a promotion on any Python implementation without torn state.
+    * **Writes go through a single-writer promotion path.**  ``promote``
+      appends to a private pending map under a lock; pending entries are
+      folded into a fresh snapshot every ``publish_interval`` promotions (or
+      on an explicit :meth:`publish`, which builders call after a build).
+
+    Results are safe to share because an :class:`OptimizationResult` is never
+    mutated after construction and the fingerprint keys already capture
+    everything (query, configuration, flags) that could change the answer.
+    """
+
+    def __init__(self, max_entries: int = 65536, publish_interval: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self._publish_interval = max(1, publish_interval)
+        #: Published immutable snapshots (replaced wholesale, never mutated).
+        self._snapshot: Dict[tuple, List[Tuple[HooksSignature, OptimizationResult]]] = {}
+        self._maintenance_snapshot: Dict[tuple, float] = {}
+        #: Pending promotions, folded into the snapshots under the lock.
+        self._pending: Dict[tuple, List[Tuple[HooksSignature, OptimizationResult]]] = {}
+        self._maintenance_pending: Dict[tuple, float] = {}
+        self.hits = 0
+        self.promotions = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshot) + len(self._pending)
+
+    def lookup(self, key: tuple) -> Optional[List[Tuple[HooksSignature, OptimizationResult]]]:
+        """The published results for ``key`` (lock-free; may lag promotions).
+
+        The caller counts a hit (:meth:`count_hit`) only when one of the
+        returned results actually satisfies its hook signature.
+        """
+        return self._snapshot.get(key)
+
+    def lookup_maintenance(self, key: tuple) -> Optional[float]:
+        """The published maintenance cost for ``key`` (lock-free)."""
+        cost = self._maintenance_snapshot.get(key)
+        if cost is not None:
+            self.hits += 1
+        return cost
+
+    def count_hit(self) -> None:
+        """Record that a published result satisfied a session's probe."""
+        self.hits += 1
+
+    def promote(
+        self, key: tuple, signature: HooksSignature, result: OptimizationResult
+    ) -> None:
+        """Queue one fresh result for publication (single-writer path)."""
+        with self._lock:
+            self._pending.setdefault(key, []).append((signature, result))
+            self.promotions += 1
+            if len(self._pending) >= self._publish_interval:
+                self._publish_locked()
+
+    def promote_maintenance(self, key: tuple, cost: float) -> None:
+        """Queue one maintenance-cost answer for publication."""
+        with self._lock:
+            self._maintenance_pending[key] = cost
+            self.promotions += 1
+            if len(self._maintenance_pending) >= self._publish_interval:
+                self._publish_locked()
+
+    def publish(self) -> None:
+        """Fold every pending promotion into fresh published snapshots."""
+        with self._lock:
+            self._publish_locked()
+
+    def _publish_locked(self) -> None:
+        if self._pending:
+            merged = dict(self._snapshot)
+            for key, results in self._pending.items():
+                existing = merged.get(key)
+                merged[key] = (list(existing) + results) if existing else results
+            if len(merged) > self._max_entries:
+                # Age out the oldest insertions (dicts preserve order); the
+                # evicted answers are merely recomputed on next sight.
+                excess = len(merged) - self._max_entries
+                for key in list(merged)[:excess]:
+                    del merged[key]
+            self._snapshot = merged
+            self._pending = {}
+        if self._maintenance_pending:
+            merged_maintenance = dict(self._maintenance_snapshot)
+            merged_maintenance.update(self._maintenance_pending)
+            self._maintenance_snapshot = merged_maintenance
+            self._maintenance_pending = {}
+
+
 class WhatIfCallCache:
     """Memoizing wrapper around :meth:`WhatIfOptimizer.optimize_with_configuration`.
 
@@ -176,18 +276,35 @@ class WhatIfCallCache:
     (the DP keeps extra states in that mode, so plan tie-breaking can differ).
     """
 
-    def __init__(self, whatif: Union[WhatIfOptimizer, Optimizer]) -> None:
+    def __init__(
+        self,
+        whatif: Union[WhatIfOptimizer, Optimizer],
+        shared: Optional[SharedWhatIfResults] = None,
+    ) -> None:
         if isinstance(whatif, Optimizer):
             whatif = WhatIfOptimizer(whatif)
         self._whatif = whatif
         self._entries: Dict[tuple, List[Tuple[HooksSignature, OptimizationResult]]] = {}
         self._maintenance_memo: Dict[tuple, float] = {}
+        #: Optional cross-session result store: local misses consult its
+        #: published snapshot, local computations are promoted into it.
+        self._shared = shared
         self.statistics = WhatIfCallStatistics()
 
     @property
     def optimizer(self) -> Optimizer:
         """The underlying optimizer (for call-count inspection)."""
         return self._whatif.optimizer
+
+    @property
+    def shared(self) -> Optional[SharedWhatIfResults]:
+        """The cross-session result store this cache promotes into, if any."""
+        return self._shared
+
+    def publish_shared(self) -> None:
+        """Publish pending promotions so other sessions can read them now."""
+        if self._shared is not None:
+            self._shared.publish()
 
     def __len__(self) -> int:
         return sum(len(results) for results in self._entries.values())
@@ -217,11 +334,23 @@ class WhatIfCallCache:
         if cached is not None:
             self.statistics.hits += 1
             return cached
+        if self._shared is not None:
+            results = self._shared.lookup(key)
+            if results is not None:
+                shared_hit = _select_result(results, signature)
+                if shared_hit is not None:
+                    # Adopt locally so later probes skip the snapshot walk.
+                    self._entries.setdefault(key, []).append((signature, shared_hit))
+                    self._shared.count_hit()
+                    self.statistics.hits += 1
+                    return shared_hit
         result = self._whatif.optimize_with_configuration(
             query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop, hooks=hooks
         )
         self.statistics.misses += 1
         self._entries.setdefault(key, []).append((signature, result))
+        if self._shared is not None:
+            self._shared.promote(key, signature, result)
         return result
 
     def cost_with_configuration(
@@ -255,9 +384,17 @@ class WhatIfCallCache:
         if cost is not None:
             self.statistics.maintenance_hits += 1
             return cost
+        if self._shared is not None:
+            cost = self._shared.lookup_maintenance(key)
+            if cost is not None:
+                self.statistics.maintenance_hits += 1
+                self._maintenance_memo[key] = cost
+                return cost
         cost = self._whatif.maintenance_cost(statement, index)
         self.statistics.maintenance_misses += 1
         self._maintenance_memo[key] = cost
+        if self._shared is not None:
+            self._shared.promote_maintenance(key, cost)
         return cost
 
     def statement_base_cost(self, statement: DmlStatement) -> float:
@@ -267,9 +404,17 @@ class WhatIfCallCache:
         if cost is not None:
             self.statistics.maintenance_hits += 1
             return cost
+        if self._shared is not None:
+            cost = self._shared.lookup_maintenance(key)
+            if cost is not None:
+                self.statistics.maintenance_hits += 1
+                self._maintenance_memo[key] = cost
+                return cost
         cost = self._whatif.statement_base_cost(statement)
         self.statistics.maintenance_misses += 1
         self._maintenance_memo[key] = cost
+        if self._shared is not None:
+            self._shared.promote_maintenance(key, cost)
         return cost
 
     def statement_cost(
@@ -319,13 +464,25 @@ class WhatIfCallCache:
         results = self._entries.get(key)
         if not results:
             return None
+        return _select_result(results, signature)
+
+
+def _select_result(
+    results: Sequence[Tuple[HooksSignature, OptimizationResult]],
+    signature: HooksSignature,
+) -> Optional[OptimizationResult]:
+    """The stored result compatible with ``signature``, if any.
+
+    Shared between the local entries and the cross-session snapshots so both
+    apply identical hook-compatibility rules.
+    """
+    for stored_signature, result in results:
+        if stored_signature == signature:
+            return result
+    if signature is None:
+        # Serve a plain request from an access-path-export result: the
+        # exported paths are extra payload, the plan is identical.
         for stored_signature, result in results:
-            if stored_signature == signature:
+            if stored_signature is not None and not stored_signature[1]:
                 return result
-        if signature is None:
-            # Serve a plain request from an access-path-export result: the
-            # exported paths are extra payload, the plan is identical.
-            for stored_signature, result in results:
-                if stored_signature is not None and not stored_signature[1]:
-                    return result
-        return None
+    return None
