@@ -59,6 +59,13 @@ LIGHT_OPS: Tuple[Tuple[str, Optional[Dict[str, Any]]], ...] = (
     ("stats", None),
 )
 
+#: Every session recommends over the fused workload arena (PR 7): the first
+#: session compiles and promotes it into the tier namespace; tenants 2..N
+#: adopt it by fingerprint (asserted via the tier's arena counters).  The
+#: arena engine needs no numpy (pure-Python fallback), so the no-numpy CI
+#: leg runs the same mix.
+RECOMMEND_PARAMS: Dict[str, Any] = {"engine": "arena"}
+
 
 def _quick_default() -> bool:
     return os.environ.get("REPRO_BENCH_SERVE_QUICK", "") == "1"
@@ -134,7 +141,9 @@ async def _play_mix(
 ) -> Dict[str, int]:
     """One client's full request sequence; returns its build counters."""
     built = shared = 0
-    sequence: List[Tuple[str, Optional[Dict[str, Any]]]] = [("recommend", None)]
+    sequence: List[Tuple[str, Optional[Dict[str, Any]]]] = [
+        ("recommend", dict(RECOMMEND_PARAMS))
+    ]
     rounds = 1 if quick else 3
     for _ in range(rounds):
         sequence.extend(LIGHT_OPS)
@@ -160,7 +169,7 @@ async def _run_load(host: str, port: int, clients: int, quick: bool) -> Dict[str
 
     # Warm: the only session allowed to build; it publishes into the tier.
     async with TuningClient(host, port, session_id="bench-warm") as warm:
-        response = await warm.call("recommend")
+        response = await warm.call("recommend", dict(RECOMMEND_PARAMS))
         if not response.get("ok"):
             raise RuntimeError(f"warm recommend failed: {response}")
         warm_builds = response["result"]["session"]["caches_built"]
@@ -241,6 +250,16 @@ def check_report(report: Dict[str, Any]) -> None:
         "the shared tier should have answered them all"
     )
     assert report["caches_shared_total"] >= report["clients"], report
+    # Arena proof: the warm session compiled and promoted the one fused
+    # arena before any measured session started; everyone else adopted it
+    # by fingerprint (0 arena rebuilds for tenants 2..N).
+    tier = report.get("tier") or {}
+    if "arena_promotions" in tier:
+        assert tier["arena_promotions"] == 1, (
+            f"expected exactly one arena compile (the warm session), "
+            f"got {tier['arena_promotions']}"
+        )
+        assert tier["arena_hits"] >= report["clients"], tier
     assert report["throughput_rps"] >= 10, (
         f"throughput {report['throughput_rps']:.1f} req/s is implausibly low"
     )

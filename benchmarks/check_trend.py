@@ -1,0 +1,149 @@
+"""CI trend gate: fail when the selection phase regresses vs the baselines.
+
+Reads the ``selection_phase`` rows that ``bench_greedy_selection.py`` writes
+into ``BENCH_ci.json`` (pytest-benchmark ``extra_info``) and compares them
+against the committed ``benchmarks/baselines.json``.  Wall-clock seconds are
+meaningless across runner generations, so each optimized path is normalized
+by the *seed* scalar path measured in the same run: the seed loop is frozen
+code, so ``lazy_seconds / seed_seconds`` moves only when the optimized path
+itself regresses, and the runner's speed cancels out.  A ratio more than
+``tolerance`` (default 1.25, i.e. a >25 % selection wall-time regression)
+above its committed baseline fails the job.
+
+Rows below ``min_candidates`` (default 60) are reported but not gated: their
+millisecond-scale timings are too noisy for a 25 % bound on shared runners.
+
+Usage::
+
+    python benchmarks/check_trend.py BENCH_ci.json            # gate (CI)
+    python benchmarks/check_trend.py BENCH_ci.json --update   # refresh floor
+
+``--update`` merges the current run into the baselines file, keeping the
+*worst* (largest) ratio seen per row so one lucky run can never tighten the
+gate for everyone else.  Commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINES = Path(__file__).resolve().parent / "baselines.json"
+
+#: The normalized metrics gated per candidate-count row.
+RATIOS = {
+    "lazy_over_seed": "lazy_seconds",
+    "arena_over_seed": "arena_seconds",
+}
+
+
+def selection_rows(report_path: Path) -> list:
+    """The ``selection_phase`` rows from a pytest-benchmark JSON report."""
+    report = json.loads(report_path.read_text())
+    for bench in report.get("benchmarks", []):
+        rows = bench.get("extra_info", {}).get("selection_phase")
+        if rows:
+            return rows
+    raise SystemExit(
+        f"{report_path}: no selection_phase rows found -- did "
+        "bench_greedy_selection.py run with --benchmark-json?"
+    )
+
+
+def current_ratios(rows: list) -> dict:
+    ratios = {}
+    for row in rows:
+        seed = float(row["seed_seconds"])
+        if seed <= 0.0:
+            continue
+        ratios[str(row["candidates"])] = {
+            name: float(row[field]) / seed for name, field in RATIOS.items()
+        }
+    return ratios
+
+
+def update(baselines_path: Path, ratios: dict) -> None:
+    baselines = (
+        json.loads(baselines_path.read_text()) if baselines_path.exists() else {}
+    )
+    merged = baselines.setdefault("selection_phase", {})
+    for count, values in ratios.items():
+        row = merged.setdefault(count, {})
+        for name, value in values.items():
+            row[name] = round(max(float(row.get(name, 0.0)), value), 4)
+    baselines.setdefault("tolerance", 1.25)
+    baselines.setdefault("min_candidates", 60)
+    baselines_path.write_text(json.dumps(baselines, indent=2, sort_keys=True) + "\n")
+    print(f"updated {baselines_path}")
+
+
+def check(baselines_path: Path, ratios: dict) -> int:
+    if not baselines_path.exists():
+        raise SystemExit(
+            f"{baselines_path} is missing -- regenerate it with --update "
+            "and commit it"
+        )
+    baselines = json.loads(baselines_path.read_text())
+    tolerance = float(baselines.get("tolerance", 1.25))
+    min_candidates = int(baselines.get("min_candidates", 60))
+    committed = baselines.get("selection_phase", {})
+
+    failures = []
+    print(f"selection-phase trend vs {baselines_path.name} "
+          f"(tolerance {tolerance:.2f}x, gated from {min_candidates} candidates):")
+    for count in sorted(ratios, key=int):
+        gated = int(count) >= min_candidates
+        baseline_row = committed.get(count)
+        for name, value in sorted(ratios[count].items()):
+            if baseline_row is None or name not in baseline_row:
+                if gated:
+                    failures.append(
+                        f"  {count} candidates / {name}: no committed baseline "
+                        "-- run with --update and commit baselines.json"
+                    )
+                continue
+            limit = float(baseline_row[name]) * tolerance
+            verdict = "ok" if value <= limit or not gated else "REGRESSED"
+            print(
+                f"  {count:>4} candidates  {name:<16} {value:.4f} "
+                f"(baseline {baseline_row[name]:.4f}, limit {limit:.4f}) "
+                f"{verdict}{'' if gated else ' [not gated]'}"
+            )
+            if gated and value > limit:
+                failures.append(
+                    f"  {count} candidates / {name}: {value:.4f} exceeds "
+                    f"{limit:.4f} (baseline {baseline_row[name]:.4f} x {tolerance})"
+                )
+    if failures:
+        print("selection phase regressed >25% vs committed baselines:",
+              file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print("trend check passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="pytest-benchmark JSON report")
+    parser.add_argument(
+        "--baselines", type=Path, default=DEFAULT_BASELINES,
+        help="committed baselines file (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="merge this run into the baselines (keeps the worst ratio seen)",
+    )
+    options = parser.parse_args(argv)
+    ratios = current_ratios(selection_rows(options.report))
+    if options.update:
+        update(options.baselines, ratios)
+        return 0
+    return check(options.baselines, ratios)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.api.registry import ENGINES as ENGINE_REGISTRY
 from repro.api.registry import EngineSpec
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.inum.arena import WorkloadArena, arena_fingerprint, compile_arena
 from repro.inum.cache import InumCache
 from repro.inum.compiled import CompiledCostEngine, compile_cache, numpy_available
 from repro.inum.cost_estimation import InumCostModel
@@ -47,10 +48,13 @@ from repro.util.fingerprint import configuration_signature, query_fingerprint
 #: Evaluation engines accepted by :class:`CacheBackedWorkloadCostModel`:
 #: ``"auto"`` compiles caches and lets :mod:`repro.inum.compiled` pick numpy
 #: or the pure-Python layout, ``"numpy"``/``"python"`` force a compiled
-#: backend, and ``"scalar"`` keeps the original per-slot Python walk.  The
+#: backend, ``"scalar"`` keeps the original per-slot Python walk, and
+#: ``"arena"`` fuses every compiled layout into one
+#: :class:`~repro.inum.arena.WorkloadArena` so whole-workload and
+#: whole-frontier evaluations are single batched array operations.  The
 #: authoritative list lives in :data:`repro.api.registry.ENGINES`; this tuple
 #: mirrors the built-ins for documentation and back-compat.
-ENGINES = ("auto", "numpy", "python", "scalar")
+ENGINES = ("auto", "numpy", "python", "scalar", "arena")
 
 
 def validate_statement_weight(name: str, value: object, label: str = "statement weight") -> float:
@@ -86,6 +90,9 @@ AUTO_ENGINE = EngineSpec("auto", compiled=True)
 NUMPY_ENGINE = EngineSpec("numpy", compiled=True, availability=_numpy_problem)
 PYTHON_ENGINE = EngineSpec("python", compiled=True)
 SCALAR_ENGINE = EngineSpec("scalar", compiled=False)
+#: The fused engine needs no availability gate: :func:`compile_arena` picks
+#: the numpy buffers when installed and the pure-Python layout otherwise.
+ARENA_ENGINE = EngineSpec("arena", compiled=False, fused=True)
 
 
 class WorkloadCostModel(abc.ABC):
@@ -180,15 +187,55 @@ class IncrementalWorkloadEvaluator:
     re-evaluating just the relevant queries; totals are still summed over all
     queries in workload order, so they are bit-identical to a full
     :meth:`~WorkloadCostModel.workload_cost` call.
+
+    Under the fused ``"arena"`` engine the evaluator delegates to the
+    model's :class:`~repro.inum.arena.WorkloadArena` instead: per-query
+    costs come back as one vector, and :meth:`frontier` scores a whole
+    candidate frontier (winners plus each candidate) in one batched call --
+    the selectors use it to replace their per-candidate loops.
     """
 
     def __init__(self, model: WorkloadCostModel, indexes: Sequence[Index] = ()) -> None:
         self._model = model
         self._weights = model.weights
-        self._costs: Dict[str, float] = {
-            query.name: model.query_cost(query, list(indexes)) for query in model.queries
-        }
+        self._arena: Optional[WorkloadArena] = getattr(model, "arena", None)
+        if self._arena is not None:
+            model.query_evaluations += len(model.queries)
+            self._costs = dict(
+                zip(self._arena.query_names, self._arena.per_query_vector(list(indexes)))
+            )
+        else:
+            self._costs = {
+                query.name: model.query_cost(query, list(indexes))
+                for query in model.queries
+            }
         self._pending: Dict[tuple, Dict[str, float]] = {}
+        self._pending_rows: Dict[tuple, Sequence[float]] = {}
+
+    @property
+    def supports_frontier(self) -> bool:
+        """Whether :meth:`frontier` answers in one batched arena call."""
+        return self._arena is not None
+
+    def frontier(
+        self, winners: Sequence[Index], candidates: Sequence[Index]
+    ) -> Optional[List[float]]:
+        """Weighted workload costs of ``winners + [c]`` for every candidate.
+
+        One batched arena evaluation (``None`` without an arena); the
+        per-query rows are remembered so committing any of the candidates
+        is free.
+        """
+        arena = self._arena
+        if arena is None:
+            return None
+        weights = [self._weights[name] for name in arena.query_names]
+        totals, rows = arena.frontier_detail(winners, candidates, weights)
+        self._model.query_evaluations += len(arena.query_names) * len(candidates)
+        self._pending_rows = {
+            candidate.key: row for candidate, row in zip(candidates, rows)
+        }
+        return totals
 
     @property
     def total(self) -> float:
@@ -207,6 +254,10 @@ class IncrementalWorkloadEvaluator:
         candidate's maintenance); the new per-query costs are remembered so
         a following :meth:`commit` of the same candidate is free.
         """
+        if self._arena is not None:
+            totals = self.frontier(winners, [candidate])
+            assert totals is not None
+            return totals[0]
         affected = self._model.queries_touching(candidate.table)
         if not affected:
             return self.total
@@ -220,6 +271,17 @@ class IncrementalWorkloadEvaluator:
 
     def commit(self, winners: Sequence[Index], candidate: Index) -> None:
         """Make ``candidate`` (last element of ``winners``) permanent."""
+        if self._arena is not None:
+            row = self._pending_rows.get(candidate.key)
+            if row is None:
+                self._model.query_evaluations += len(self._arena.query_names)
+                row = self._arena.per_query_vector(list(winners))
+            self._costs = dict(
+                zip(self._arena.query_names, (float(cost) for cost in row))
+            )
+            self._pending_rows = {}
+            self._pending.clear()
+            return
         fresh = self._pending.get(candidate.key)
         if fresh is None:
             affected = self._model.queries_touching(candidate.table)
@@ -332,6 +394,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None,
         cache_ids: Optional[Dict[str, str]] = None,
         weights: Optional[Mapping[str, float]] = None,
+        arena_cache: Optional[Dict[str, WorkloadArena]] = None,
     ) -> "CacheBackedWorkloadCostModel":
         """A model over already-built caches (the warm session path).
 
@@ -339,7 +402,8 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         e.g. by a :class:`~repro.api.session.TuningSession`'s incremental
         pool.  ``engine_cache``/``cache_ids`` let the caller share compiled
         engines across model instances, keyed by a stable cache identity, so
-        a warm re-tune skips recompilation too.
+        a warm re-tune skips recompilation too; ``arena_cache`` does the
+        same for the fused workload arena.
         """
         model = cls.__new__(cls)
         WorkloadCostModel.__init__(model, queries, weights=weights)
@@ -352,6 +416,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
             preparation_seconds,
             engine_cache=engine_cache,
             cache_ids=cache_ids,
+            arena_cache=arena_cache,
         )
         return model
 
@@ -364,6 +429,7 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         preparation_seconds: float,
         engine_cache: Optional[Dict[Tuple[str, str], CompiledCostEngine]] = None,
         cache_ids: Optional[Dict[str, str]] = None,
+        arena_cache: Optional[Dict[str, WorkloadArena]] = None,
     ) -> None:
         if mode not in ("pinum", "inum"):
             raise AdvisorError(f"unknown cache mode {mode!r} (expected 'pinum' or 'inum')")
@@ -375,6 +441,8 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         self._engines: Dict[str, CompiledCostEngine] = {}
         self._engine_cache = engine_cache
         self._cache_ids = cache_ids or {}
+        self._arena: Optional[WorkloadArena] = None
+        self._arena_cache = arena_cache
         self.select_engine(engine)
         self._calls = preparation_calls
         self._seconds = preparation_seconds
@@ -387,10 +455,17 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         over each cache) and results land in the shared engine cache when
         one was attached, so benchmarks and sessions can flip one model
         between the scalar walk and the compiled backends without rebuilding
-        caches or recompiling warm ones.
+        caches or recompiling warm ones.  The fused ``"arena"`` engine
+        compiles (or adopts from ``arena_cache``) one workload-wide arena
+        instead of per-query engines.
         """
         spec: EngineSpec = ENGINE_REGISTRY.get(engine)
         spec.ensure_available()
+        if getattr(spec, "fused", False):
+            self._engines = {}
+            self._arena = self._compile_arena()
+            return
+        self._arena = None
         if not spec.compiled:
             self._engines = {}
             return
@@ -405,12 +480,61 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
             engines[name] = compiled
         self._engines = engines
 
+    def _compile_arena(self) -> WorkloadArena:
+        backend = "numpy" if numpy_available() else "python"
+        arena_id = arena_fingerprint(
+            [query.name for query in self.queries], self._cache_ids, backend
+        )
+        arena = self._arena_cache.get(arena_id) if self._arena_cache is not None else None
+        if arena is None:
+            arena = compile_arena(self.queries, self._caches, backend=backend)
+            arena.arena_id = arena_id
+            if self._arena_cache is not None:
+                self._arena_cache[arena_id] = arena
+                # Shared maps are first-promotion-wins: adopt the winner.
+                arena = self._arena_cache.get(arena_id, arena)
+        return arena
+
+    @property
+    def arena(self) -> Optional[WorkloadArena]:
+        """The fused workload arena (``None`` unless ``engine="arena"``)."""
+        return self._arena
+
     @property
     def engine_backend(self) -> str:
-        """The active evaluation backend: "numpy", "python" or "scalar"."""
+        """The active evaluation backend: "numpy", "python", "scalar" or "arena"."""
+        if self._arena is not None:
+            return "arena"
         if not self._engines:
             return "scalar"
         return next(iter(self._engines.values())).backend
+
+    def workload_cost(self, indexes: Sequence[Index]) -> float:
+        """Total weighted cost of the workload under ``indexes``."""
+        if self._arena is not None:
+            self.query_evaluations += len(self.queries)
+            return self._arena.evaluate(
+                indexes, [self.weights[query.name] for query in self.queries]
+            )
+        return super().workload_cost(indexes)
+
+    def per_query_costs(self, indexes: Sequence[Index]) -> Dict[str, float]:
+        """Per-execution costs under ``indexes`` keyed by statement name."""
+        if self._arena is not None:
+            self.query_evaluations += len(self.queries)
+            return self._arena.evaluate_detail(indexes)
+        return super().per_query_costs(indexes)
+
+    def memo_counters(self) -> Tuple[int, int]:
+        """Aggregate ``(hits, misses)`` of the active engines' index-set memos."""
+        hits = misses = 0
+        if self._arena is not None:
+            hits, misses = self._arena.memo_counters()
+        for compiled in self._engines.values():
+            engine_hits, engine_misses = compiled.memo_counters()
+            hits += engine_hits
+            misses += engine_misses
+        return hits, misses
 
     @property
     def caches(self) -> Dict[str, InumCache]:
@@ -422,6 +546,8 @@ class CacheBackedWorkloadCostModel(WorkloadCostModel):
         return self._caches
 
     def _query_cost(self, query: Query, indexes: Sequence[Index]) -> float:
+        if self._arena is not None:
+            return self._arena.query_cost(query.name, indexes)
         evaluator: Union[CompiledCostEngine, InumCostModel, None]
         evaluator = self._engines.get(query.name) or self._models.get(query.name)
         if evaluator is None:
@@ -482,6 +608,8 @@ class CostModelRequest:
     cost_memo: Optional[Dict[tuple, float]] = None
     #: Per-statement execution-frequency weights (missing names default 1.0).
     weights: Optional[Mapping[str, float]] = None
+    #: Shared pool of fused workload arenas, keyed by arena fingerprint.
+    arena_cache: Optional[Dict[str, WorkloadArena]] = None
 
 
 def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostModel:
@@ -496,6 +624,7 @@ def _build_cache_backed(request: CostModelRequest, mode: str) -> WorkloadCostMod
             engine_cache=request.engine_cache,
             cache_ids=request.cache_ids,
             weights=request.weights,
+            arena_cache=request.arena_cache,
         )
     return CacheBackedWorkloadCostModel(
         request.optimizer,

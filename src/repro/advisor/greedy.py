@@ -62,6 +62,18 @@ class SelectionStatistics:
     #: "lazy-greedy" when the ILP warm start was already optimal/best found,
     #: "solver" when branch and bound improved on it.
     incumbent_source: str = "n/a"
+    #: Index-set memo lookups answered from / past the cost model's memos
+    #: during this run (0 for models without compiled-engine memos).
+    memo_hits: int = 0
+    memo_misses: int = 0
+
+
+def memo_counters(cost_model) -> tuple:
+    """The model's aggregate ``(hits, misses)`` memo counters (0s if none)."""
+    counters = getattr(cost_model, "memo_counters", None)
+    if counters is None:
+        return 0, 0
+    return counters()
 
 
 class GreedySelector:
@@ -98,6 +110,7 @@ class GreedySelector:
         stats = SelectionStatistics()
         self.statistics = stats
         evaluations_before = self._cost_model.query_evaluations
+        memo_before = memo_counters(self._cost_model)
 
         remaining = list(candidates)
         winners: List[Index] = []
@@ -106,6 +119,7 @@ class GreedySelector:
         evaluator = (
             IncrementalWorkloadEvaluator(self._cost_model) if self._incremental else None
         )
+        batched = evaluator is not None and evaluator.supports_frontier
         current_cost = (
             evaluator.total if evaluator is not None else self._cost_model.workload_cost(winners)
         )
@@ -126,15 +140,25 @@ class GreedySelector:
 
             best_index: Optional[Index] = None
             best_cost = current_cost
-            for candidate in remaining:
-                if evaluator is not None:
-                    cost = evaluator.cost_with(winners, candidate)
-                else:
-                    cost = self._cost_model.workload_cost(winners + [candidate])
-                stats.candidate_evaluations += 1
-                if cost < best_cost:
-                    best_cost = cost
-                    best_index = candidate
+            if batched and remaining:
+                # One arena call scores the whole frontier; the scan below
+                # keeps the strict `<` pick order of the per-candidate loop.
+                costs = evaluator.frontier(winners, remaining)
+                stats.candidate_evaluations += len(remaining)
+                for candidate, cost in zip(remaining, costs):
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_index = candidate
+            else:
+                for candidate in remaining:
+                    if evaluator is not None:
+                        cost = evaluator.cost_with(winners, candidate)
+                    else:
+                        cost = self._cost_model.workload_cost(winners + [candidate])
+                    stats.candidate_evaluations += 1
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_index = candidate
 
             if best_index is None:
                 break
@@ -159,6 +183,9 @@ class GreedySelector:
 
         stats.seconds = time.perf_counter() - started
         stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
+        memo_after = memo_counters(self._cost_model)
+        stats.memo_hits = memo_after[0] - memo_before[0]
+        stats.memo_misses = memo_after[1] - memo_before[1]
         return steps
 
 

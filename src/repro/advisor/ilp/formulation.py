@@ -529,6 +529,34 @@ class IlpFormulation:
             for position, extra in program.maintenance.items():
                 self.weighted_maintenance[position] += program.weight * extra
 
+        # Scatter arrays for :meth:`benefit_values`: every (program,
+        # candidate) pair with a collected access-method column, flattened
+        # program-major over one arena-style global cap axis (program
+        # ``p``'s caps vector occupies slots ``[bases[p], bases[p] +
+        # method_count)``).  Built once; the solver reuses them at every
+        # branch-and-bound node.
+        self._cap_scatter = None
+        if _np is not None:
+            positions: List[int] = []
+            slots: List[int] = []
+            pair_weights: List[float] = []
+            bases: List[int] = []
+            base = 0
+            for program in programs:
+                bases.append(base)
+                for position, column in program.column_of_candidate.items():
+                    positions.append(position)
+                    slots.append(base + column)
+                    pair_weights.append(program.weight)
+                base += program.method_count
+            self._cap_scatter = (
+                _np.asarray(positions, dtype=_np.intp),
+                _np.asarray(slots, dtype=_np.intp),
+                _np.asarray(pair_weights, dtype=_np.float64),
+                bases,
+                base,
+            )
+
     # -- evaluation --------------------------------------------------------
 
     @property
@@ -553,6 +581,37 @@ class IlpFormulation:
         for program in self.programs:
             total += program.weight * program.cost(selection)
         return total
+
+    def benefit_values(self, caps_rows: Sequence[Sequence[float]]) -> List[float]:
+        """Per-candidate benefit caps, scattered from per-program caps.
+
+        ``caps_rows`` holds each program's :meth:`StatementProgram.caps`
+        vector, in program order.  The result is the value column of the
+        solver's fractional-knapsack relaxation:
+        ``values[i] = sum_q w_q * caps_q[column_q(i)]`` over every program
+        that collected candidate ``i``.
+
+        With numpy the accumulation is one gather + ``np.add.at`` over the
+        precomputed scatter arrays (the same fused global-candidate axis the
+        :class:`~repro.inum.arena.WorkloadArena` stacks its columns on);
+        ``np.add.at`` is unbuffered and applies additions in index order, so
+        the floats match the pure-Python program-major loop bit for bit.
+        """
+        if self._cap_scatter is not None:
+            positions, slots, pair_weights, bases, total = self._cap_scatter
+            flat = _np.zeros(total, dtype=_np.float64)
+            for base, caps in zip(bases, caps_rows):
+                flat[base : base + len(caps)] = caps
+            values = _np.zeros(self.candidate_count, dtype=_np.float64)
+            _np.add.at(values, positions, pair_weights * flat[slots])
+            return values.tolist()
+        values = [0.0] * self.candidate_count
+        for program, caps in zip(self.programs, caps_rows):
+            for position, column in program.column_of_candidate.items():
+                cap = caps[column]
+                if cap:
+                    values[position] += program.weight * cap
+        return values
 
     def selected(self, selection: int) -> List[Index]:
         """The chosen :class:`Index` objects, in pool order."""

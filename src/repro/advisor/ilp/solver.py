@@ -154,19 +154,17 @@ class BranchAndBoundSolver:
         monotone_read = 0.0
         base_read = 0.0
         slack = 0.0
-        values = [0.0] * formulation.candidate_count
+        caps_rows = []
         for program in formulation.programs:
             base_mask = program.active_mask(fixed)
             all_mask = program.active_mask(all_bits)
             monotone_read += program.weight * program.read_cost_for_mask(all_mask)
             base_read += program.weight * program.read_cost_for_mask(base_mask)
-            caps = program.caps(base_mask)
+            caps_rows.append(program.caps(base_mask))
             slack += program.weight * program.slack(base_mask, all_mask)
-            for position, column in program.column_of_candidate.items():
-                if (free >> position) & 1:
-                    cap = caps[column]
-                    if cap:
-                        values[position] += program.weight * cap
+        # One vectorized scatter replaces the per-program dict walk over
+        # (candidate, column) pairs; bit-identical to the scalar loop.
+        values = formulation.benefit_values(caps_rows)
 
         remaining = formulation.budget - used_bytes
         items = []

@@ -38,7 +38,7 @@ import time
 from typing import List, Sequence, Tuple
 
 from repro.advisor.benefit import IncrementalWorkloadEvaluator, WorkloadCostModel
-from repro.advisor.greedy import SelectionStatistics, SelectionStep
+from repro.advisor.greedy import SelectionStatistics, SelectionStep, memo_counters
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.util.errors import AdvisorError
@@ -73,8 +73,22 @@ class LazyGreedySelector:
         stats = SelectionStatistics()
         self.statistics = stats
         evaluations_before = self._cost_model.query_evaluations
+        memo_before = memo_counters(self._cost_model)
 
         evaluator = IncrementalWorkloadEvaluator(self._cost_model)
+        if evaluator.supports_frontier:
+            # Fused-arena models answer a whole frontier in one batched call,
+            # so re-scoring every stale candidate per round is cheaper than
+            # maintaining the heap of one-at-a-time bounds.
+            steps = self._select_batched(candidates, evaluator, stats)
+            stats.seconds = time.perf_counter() - started
+            stats.query_evaluations = (
+                self._cost_model.query_evaluations - evaluations_before
+            )
+            memo_after = memo_counters(self._cost_model)
+            stats.memo_hits = memo_after[0] - memo_before[0]
+            stats.memo_misses = memo_after[1] - memo_before[1]
+            return steps
         current_cost = evaluator.total
         baseline_cost = current_cost
         winners: List[Index] = []
@@ -142,6 +156,80 @@ class LazyGreedySelector:
 
         stats.seconds = time.perf_counter() - started
         stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
+        memo_after = memo_counters(self._cost_model)
+        stats.memo_hits = memo_after[0] - memo_before[0]
+        stats.memo_misses = memo_after[1] - memo_before[1]
+        return steps
+
+    def _select_batched(
+        self,
+        candidates: Sequence[Index],
+        evaluator: IncrementalWorkloadEvaluator,
+        stats: SelectionStatistics,
+    ) -> List[SelectionStep]:
+        """Whole-frontier re-scoring per round over the fused arena.
+
+        Every remaining candidate is re-scored by one
+        :meth:`~repro.advisor.benefit.IncrementalWorkloadEvaluator.frontier`
+        call per round -- no stale bounds, so the picks match the exhaustive
+        scan by construction (same strict `<` over the same totals in the
+        same original candidate order).  Duplicate keys are dropped upfront
+        like the heap path; budget pruning is permanent like both loops.
+        """
+        current_cost = evaluator.total
+        baseline_cost = current_cost
+        winners: List[Index] = []
+        steps: List[SelectionStep] = []
+        used_bytes = 0
+
+        remaining: List[Index] = []
+        seen_keys = set()
+        for candidate in candidates:
+            if candidate.key in seen_keys:
+                continue
+            seen_keys.add(candidate.key)
+            remaining.append(candidate)
+
+        while remaining:
+            stats.iterations += 1
+            fitting = []
+            for candidate in remaining:
+                if used_bytes + self._catalog.index_size_bytes(candidate) > self._budget:
+                    stats.pruned_for_space += 1
+                    continue
+                fitting.append(candidate)
+            remaining = fitting
+            if not remaining:
+                break
+
+            costs = evaluator.frontier(winners, remaining)
+            stats.candidate_evaluations += len(remaining)
+            chosen = None
+            chosen_cost = current_cost
+            for candidate, cost in zip(remaining, costs):
+                if cost < chosen_cost:
+                    chosen_cost = cost
+                    chosen = candidate
+
+            if chosen is None:
+                break
+            benefit = current_cost - chosen_cost
+            if baseline_cost > 0 and benefit / baseline_cost < self._min_relative_benefit:
+                break
+
+            winners.append(chosen)
+            remaining = [c for c in remaining if c.key != chosen.key]
+            used_bytes += self._catalog.index_size_bytes(chosen)
+            evaluator.commit(winners, chosen)
+            steps.append(
+                SelectionStep(
+                    chosen=chosen,
+                    workload_cost_before=current_cost,
+                    workload_cost_after=chosen_cost,
+                    cumulative_size_bytes=used_bytes,
+                )
+            )
+            current_cost = chosen_cost
         return steps
 
 

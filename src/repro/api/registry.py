@@ -148,14 +148,19 @@ class EngineSpec:
 
     ``compiled`` engines run through :func:`repro.inum.compiled.compile_cache`
     with ``backend=name``; the non-compiled ``"scalar"`` engine keeps the
-    original per-slot Python walk.  ``availability`` (when set) returns an
-    error message if the engine cannot run in this process (e.g. the numpy
-    backend without numpy installed) and ``None`` when it can.
+    original per-slot Python walk.  ``fused`` engines skip per-query
+    compilation entirely and evaluate through one
+    :class:`~repro.inum.arena.WorkloadArena` spanning the whole workload.
+    ``availability`` (when set) returns an error message if the engine cannot
+    run in this process (e.g. the numpy backend without numpy installed) and
+    ``None`` when it can.
     """
 
     name: str
     compiled: bool = True
     availability: Optional[Callable[[], Optional[str]]] = None
+    #: Whether the engine evaluates through a fused workload arena.
+    fused: bool = False
 
     def ensure_available(self) -> None:
         """Raise :class:`AdvisorError` when the engine cannot run here."""
@@ -186,6 +191,7 @@ ENGINES = Registry("evaluation engine", builtins={
     "numpy": "repro.advisor.benefit:NUMPY_ENGINE",
     "python": "repro.advisor.benefit:PYTHON_ENGINE",
     "scalar": "repro.advisor.benefit:SCALAR_ENGINE",
+    "arena": "repro.advisor.benefit:ARENA_ENGINE",
 })
 
 #: Per-query plan-cache builders, keyed by ``WorkloadBuilderOptions.builder``.

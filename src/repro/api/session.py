@@ -252,6 +252,11 @@ class TuningSession:
     #: serve process cannot grow without bound.
     DEFAULT_MAX_POOLED_CACHES = 512
 
+    #: Soft cap on pooled fused arenas.  An arena spans the whole workload
+    #: (its fingerprint folds every cache id), so a mutating session churns
+    #: fingerprints fast; recompiling one from warm caches is milliseconds.
+    MAX_POOLED_ARENAS = 8
+
     def __init__(
         self,
         catalog: Catalog,
@@ -290,6 +295,12 @@ class TuningSession:
         self._cache_pool: Dict[CacheKey, InumCache] = {}
         self._engine_pool = (
             self._tier_ns.engine_map() if self._tier_ns is not None else {}
+        )
+        #: Fused workload arenas, keyed by arena fingerprint.  Tier-backed
+        #: sessions adopt arenas other tenants compiled (the namespace is
+        #: keyed by catalog fingerprint, like the engine map).
+        self._arena_pool = (
+            self._tier_ns.arena_map() if self._tier_ns is not None else {}
         )
         self._model = None
         self._model_signature: Optional[tuple] = None
@@ -740,6 +751,7 @@ class TuningSession:
         dropped = len(self._cache_pool)
         self._cache_pool.clear()
         self._engine_pool.clear()
+        self._arena_pool.clear()
         self._invalidate_model()
         return dropped
 
@@ -822,7 +834,11 @@ class TuningSession:
         self._model_signature = None
 
     def _prune_pools(self, active_keys: set) -> None:
-        """Bound the cache/engine pools, never evicting ``active_keys``."""
+        """Bound the cache/engine/arena pools, never evicting ``active_keys``."""
+        while len(self._arena_pool) > self.MAX_POOLED_ARENAS:
+            # Oldest first; a tier-backed overlay deletion never evicts the
+            # namespace copy other sessions adopted.
+            del self._arena_pool[next(iter(self._arena_pool))]
         if len(self._cache_pool) <= self._max_pooled_caches:
             return
         for key in list(self._cache_pool):
@@ -979,6 +995,7 @@ class TuningSession:
                 engine_cache=self._engine_pool,
                 cache_ids=cache_ids,
                 weights=options.weight_map(),
+                arena_cache=self._arena_pool,
             )
         else:
             calls = 0

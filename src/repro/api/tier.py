@@ -63,6 +63,8 @@ class TierStatistics:
     cache_promotions: int = 0
     engine_hits: int = 0
     engine_promotions: int = 0
+    arena_hits: int = 0
+    arena_promotions: int = 0
     sessions_attached: int = 0
 
     def to_dict(self) -> Dict[str, int]:
@@ -72,6 +74,8 @@ class TierStatistics:
             "cache_promotions": self.cache_promotions,
             "engine_hits": self.engine_hits,
             "engine_promotions": self.engine_promotions,
+            "arena_hits": self.arena_hits,
+            "arena_promotions": self.arena_promotions,
             "sessions_attached": self.sessions_attached,
         }
 
@@ -102,6 +106,11 @@ class TierNamespace:
         #: Published snapshots; replaced wholesale under ``_lock``.
         self._caches: Dict[tuple, "InumCache"] = {}
         self._engines: Dict[Tuple[str, str], object] = {}
+        #: Fused workload arenas, keyed by the arena fingerprint
+        #: (:func:`repro.inum.arena.arena_fingerprint`).  Same sharing rules
+        #: as compiled engines: evaluation is read-only up to the
+        #: deterministic internal memo.
+        self._arenas: Dict[str, object] = {}
 
     # -- plan caches -------------------------------------------------------
 
@@ -171,9 +180,40 @@ class TierNamespace:
         """A per-session engine-pool view over this namespace."""
         return SharedEngineMap(self)
 
+    # -- workload arenas ---------------------------------------------------
+
+    def lookup_arena(self, arena_id: str) -> Optional[object]:
+        """The shared fused arena under ``arena_id`` (lock-free)."""
+        arena = self._arenas.get(arena_id)
+        if arena is not None:
+            self.statistics.arena_hits += 1
+        return arena
+
+    def promote_arena(self, arena_id: str, arena: object) -> None:
+        """Publish one workload arena copy-on-write (first promotion wins)."""
+        with self._lock:
+            if arena_id in self._arenas:
+                return
+            merged = dict(self._arenas)
+            merged[arena_id] = arena
+            if len(merged) > self._max_engines:
+                for stale in list(merged)[: len(merged) - self._max_engines]:
+                    del merged[stale]
+            self._arenas = merged
+            self.statistics.arena_promotions += 1
+
+    @property
+    def arena_count(self) -> int:
+        """Fused workload arenas currently published in this namespace."""
+        return len(self._arenas)
+
+    def arena_map(self) -> "SharedEngineMap":
+        """A per-session arena-pool view over this namespace."""
+        return SharedEngineMap(self, kind="arena")
+
 
 class SharedEngineMap:
-    """One session's view of the shared compiled-engine pool.
+    """One session's view of a shared artifact pool (engines or arenas).
 
     Implements the dict subset the session and
     :class:`~repro.advisor.benefit.CacheBackedWorkloadCostModel` use: reads
@@ -182,31 +222,41 @@ class SharedEngineMap:
     deletion -- the session's eviction machinery -- see only the overlay, so
     one session pruning its pool can never evict state other sessions rely
     on (the namespace applies its own copy-on-write bound instead).
+
+    ``kind="engine"`` (the default) views the compiled-engine pool keyed by
+    ``(cache id, backend)``; ``kind="arena"`` views the fused workload-arena
+    pool keyed by arena fingerprint strings.
     """
 
-    def __init__(self, namespace: TierNamespace) -> None:
+    def __init__(self, namespace: TierNamespace, kind: str = "engine") -> None:
         self._namespace = namespace
-        self._local: Dict[Tuple[str, str], object] = {}
+        self._local: Dict[object, object] = {}
+        if kind == "arena":
+            self._lookup = namespace.lookup_arena
+            self._promote = namespace.promote_arena
+        else:
+            self._lookup = namespace.lookup_engine
+            self._promote = namespace.promote_engine
 
-    def get(self, key: Tuple[str, str], default: object = None) -> object:
+    def get(self, key: object, default: object = None) -> object:
         engine = self._local.get(key)
         if engine is None:
-            engine = self._namespace.lookup_engine(key)
+            engine = self._lookup(key)
             if engine is not None:
                 self._local[key] = engine
         return engine if engine is not None else default
 
-    def __getitem__(self, key: Tuple[str, str]) -> object:
+    def __getitem__(self, key: object) -> object:
         engine = self.get(key)
         if engine is None:
             raise KeyError(key)
         return engine
 
-    def __setitem__(self, key: Tuple[str, str], engine: object) -> None:
+    def __setitem__(self, key: object, engine: object) -> None:
         self._local[key] = engine
-        self._namespace.promote_engine(key, engine)
+        self._promote(key, engine)
 
-    def __delitem__(self, key: Tuple[str, str]) -> None:
+    def __delitem__(self, key: object) -> None:
         del self._local[key]
 
     def __contains__(self, key: object) -> bool:
@@ -302,11 +352,14 @@ class SharedCacheTier:
             totals.cache_promotions += stats.cache_promotions
             totals.engine_hits += stats.engine_hits
             totals.engine_promotions += stats.engine_promotions
+            totals.arena_hits += stats.arena_hits
+            totals.arena_promotions += stats.arena_promotions
             totals.sessions_attached += stats.sessions_attached
         return {
             "catalogs": len(namespaces),
             "caches_published": sum(ns.cache_count for ns in namespaces),
             "engines_published": sum(ns.engine_count for ns in namespaces),
+            "arenas_published": sum(ns.arena_count for ns in namespaces),
             "whatif_shared_hits": sum(ns.whatif.hits for ns in namespaces),
             "whatif_shared_promotions": sum(ns.whatif.promotions for ns in namespaces),
             "store_page_hits": self.page_cache.hits,

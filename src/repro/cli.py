@@ -395,10 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wall-clock budget for the ilp solver; on expiry the "
                               "best selection found so far is returned with its "
                               "proven gap (default 60)")
-        sub.add_argument("--engine", choices=["auto", "numpy", "python", "scalar"],
+        sub.add_argument("--engine",
+                         choices=["auto", "arena", "numpy", "python", "scalar"],
                          default="auto",
                          help="cache evaluation engine: compiled (numpy-vectorized "
-                              "when available) or the original scalar walk")
+                              "when available), the fused workload arena, or the "
+                              "original scalar walk")
         sub.add_argument("--candidate-policy", choices=["workload", "per_query"],
                          default="workload",
                          help="candidate generation: one workload-wide pool (the "

@@ -27,6 +27,7 @@ automatically.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
@@ -59,14 +60,21 @@ class IndexSetMemo:
     compiled engines -- are worth caching.  Keys are
     :func:`~repro.util.fingerprint.configuration_signature`, so equal sets in
     different order (or containing distinct-but-equal ``Index`` objects) hit
-    the same entry.  The memo is cleared when it reaches ``max_entries`` to
-    bound memory over very long runs.
+    the same entry.  When the memo reaches ``max_entries`` the least recently
+    used entry is evicted, so long runs keep their hot winner-set entries
+    instead of periodically losing everything.  ``hits``/``misses`` count the
+    lookups answered from and past the memo (surfaced per selection run in
+    :class:`~repro.advisor.greedy.SelectionStatistics`).
     """
 
     def __init__(self, build: Callable[[Sequence], _T], max_entries: int = 8192) -> None:
         self._build = build
         self._max_entries = max_entries
-        self._memo: Dict[tuple, _T] = {}
+        self._memo: "OrderedDict[tuple, _T]" = OrderedDict()
+        #: Lookups answered from the memo.
+        self.hits = 0
+        #: Lookups that had to build (including rebuilds after eviction).
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._memo)
@@ -75,12 +83,17 @@ class IndexSetMemo:
         """The derived structure for ``indexes`` (built on first sight)."""
         key = configuration_signature(indexes)
         try:
-            return self._memo[key]
+            value = self._memo[key]
         except KeyError:
             pass
+        else:
+            self.hits += 1
+            self._memo.move_to_end(key)
+            return value
+        self.misses += 1
         value = self._build(indexes)
-        if len(self._memo) >= self._max_entries:
-            self._memo.clear()
+        while len(self._memo) >= self._max_entries:
+            self._memo.popitem(last=False)
         self._memo[key] = value
         return value
 
@@ -222,6 +235,14 @@ class CompiledCostEngine:
         if self._maintenance_memo is None:
             return 0.0
         return self._maintenance_memo.get(indexes)
+
+    def memo_counters(self) -> Tuple[int, int]:
+        """Aggregate ``(hits, misses)`` of this engine's index-set memos."""
+        hits, misses = self._mask_memo.hits, self._mask_memo.misses
+        if self._maintenance_memo is not None:
+            hits += self._maintenance_memo.hits
+            misses += self._maintenance_memo.misses
+        return hits, misses
 
     def _build_mask(self, indexes: Sequence):
         raise NotImplementedError

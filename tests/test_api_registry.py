@@ -20,7 +20,7 @@ class TestRegistry:
     def test_builtin_names_are_listed(self):
         assert set(COST_MODELS.names()) == {"pinum", "inum", "optimizer"}
         assert set(SELECTORS.names()) == {"lazy", "exhaustive", "ilp"}
-        assert set(ENGINES.names()) == {"auto", "numpy", "python", "scalar"}
+        assert set(ENGINES.names()) == {"auto", "arena", "numpy", "python", "scalar"}
         assert set(CACHE_BUILDERS.names()) == {"pinum", "inum"}
         assert set(CANDIDATE_POLICIES.names()) == {"workload", "per_query"}
 

@@ -56,6 +56,9 @@ GOLDEN_PER_QUERY_AFTER = {
 }
 
 _ENGINES = ["scalar", "python"] + (["numpy"] if numpy_available() else [])
+# The fused arena (PR 7) inherits numpy's tie allowance: its regrouped sums
+# may permute equal-benefit picks, but never the pick *set* or any cost.
+_ENGINES.append("arena")
 
 
 def _recommend(engine: str):
@@ -98,6 +101,21 @@ def test_fig7_recommendation_is_pinned(engine):
         assert result.per_query_cost_after[name] == pytest.approx(expected, rel=1e-9), (
             f"{engine} engine moved {name}'s post-recommendation cost"
         )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_arena_engine_is_pinned_to_numpy():
+    """The fused arena reproduces the per-query numpy recommendation."""
+    arena = _recommend("arena")
+    reference = _recommend("numpy")
+    arena_picks = sorted((i.table, i.columns) for i in arena.selected_indexes)
+    numpy_picks = sorted((i.table, i.columns) for i in reference.selected_indexes)
+    assert arena_picks == numpy_picks
+    assert arena.workload_cost_after == pytest.approx(
+        reference.workload_cost_after, rel=1e-9
+    )
+    for name, expected in reference.per_query_cost_after.items():
+        assert arena.per_query_cost_after[name] == pytest.approx(expected, rel=1e-9)
 
 
 def test_selectors_agree_on_the_golden_workload():
