@@ -13,6 +13,12 @@ above its committed baseline fails the job.
 Rows below ``min_candidates`` (default 60) are reported but not gated: their
 millisecond-scale timings are too noisy for a 25 % bound on shared runners.
 
+The online daemon's ``warm_over_cold`` ratio (``bench_online_drift.py``:
+boundary re-tune seconds over a cold tune of the same window, both measured
+in the same process) is gated the same way when present in the report; runs
+without online rows just note the absence, so partial benchmark invocations
+keep passing.
+
 Usage::
 
     python benchmarks/check_trend.py BENCH_ci.json            # gate (CI)
@@ -52,6 +58,20 @@ def selection_rows(report_path: Path) -> list:
     )
 
 
+def online_ratios(report_path: Path) -> dict:
+    """``engine -> warm_over_cold`` from ``bench_online_drift.py`` rows.
+
+    Empty when the report has no online rows (partial runs are fine).
+    """
+    report = json.loads(report_path.read_text())
+    ratios = {}
+    for bench in report.get("benchmarks", []):
+        info = bench.get("extra_info", {}).get("online_drift")
+        if info and "warm_over_cold" in info:
+            ratios[str(info.get("engine", "auto"))] = float(info["warm_over_cold"])
+    return ratios
+
+
 def current_ratios(rows: list) -> dict:
     ratios = {}
     for row in rows:
@@ -64,7 +84,7 @@ def current_ratios(rows: list) -> dict:
     return ratios
 
 
-def update(baselines_path: Path, ratios: dict) -> None:
+def update(baselines_path: Path, ratios: dict, online: dict) -> None:
     baselines = (
         json.loads(baselines_path.read_text()) if baselines_path.exists() else {}
     )
@@ -73,13 +93,19 @@ def update(baselines_path: Path, ratios: dict) -> None:
         row = merged.setdefault(count, {})
         for name, value in values.items():
             row[name] = round(max(float(row.get(name, 0.0)), value), 4)
+    if online:
+        row = baselines.setdefault("online_drift", {})
+        worst = max(online.values())
+        row["warm_over_cold"] = round(
+            max(float(row.get("warm_over_cold", 0.0)), worst), 4
+        )
     baselines.setdefault("tolerance", 1.25)
     baselines.setdefault("min_candidates", 60)
     baselines_path.write_text(json.dumps(baselines, indent=2, sort_keys=True) + "\n")
     print(f"updated {baselines_path}")
 
 
-def check(baselines_path: Path, ratios: dict) -> int:
+def check(baselines_path: Path, ratios: dict, online: dict) -> int:
     if not baselines_path.exists():
         raise SystemExit(
             f"{baselines_path} is missing -- regenerate it with --update "
@@ -116,8 +142,32 @@ def check(baselines_path: Path, ratios: dict) -> int:
                     f"  {count} candidates / {name}: {value:.4f} exceeds "
                     f"{limit:.4f} (baseline {baseline_row[name]:.4f} x {tolerance})"
                 )
+    if not online:
+        print("  (no online_drift rows in this report -- online gate skipped)")
+    else:
+        committed_online = baselines.get("online_drift", {})
+        for engine, value in sorted(online.items()):
+            baseline = committed_online.get("warm_over_cold")
+            if baseline is None:
+                failures.append(
+                    f"  online_drift/{engine}: no committed baseline -- run "
+                    "with --update and commit baselines.json"
+                )
+                continue
+            limit = float(baseline) * tolerance
+            verdict = "ok" if value <= limit else "REGRESSED"
+            print(
+                f"  online engine={engine:<7} warm_over_cold   {value:.4f} "
+                f"(baseline {baseline:.4f}, limit {limit:.4f}) {verdict}"
+            )
+            if value > limit:
+                failures.append(
+                    f"  online_drift/{engine}: warm_over_cold {value:.4f} "
+                    f"exceeds {limit:.4f} (baseline {baseline} x {tolerance})"
+                )
+
     if failures:
-        print("selection phase regressed >25% vs committed baselines:",
+        print("benchmark trend regressed >25% vs committed baselines:",
               file=sys.stderr)
         for failure in failures:
             print(failure, file=sys.stderr)
@@ -139,10 +189,11 @@ def main(argv=None) -> int:
     )
     options = parser.parse_args(argv)
     ratios = current_ratios(selection_rows(options.report))
+    online = online_ratios(options.report)
     if options.update:
-        update(options.baselines, ratios)
+        update(options.baselines, ratios, online)
         return 0
-    return check(options.baselines, ratios)
+    return check(options.baselines, ratios, online)
 
 
 if __name__ == "__main__":

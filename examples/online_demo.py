@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Online self-tuning end-to-end: stream -> drift -> one warm re-tune.
+
+The batch advisor answers "what indexes fit this workload?"; the online
+subsystem (:mod:`repro.online`) answers the operational question "the
+workload just changed -- now what?" without a human in the loop:
+
+1. emit a deterministic two-phase NDJSON trace from the star-schema
+   workload generator -- analytics traffic first, then update-heavy
+   traffic (``StarSchemaWorkload.trace``),
+2. attach an :class:`~repro.online.OnlineTuner` to a fresh
+   :class:`~repro.api.session.TuningSession` over a
+   :class:`~repro.online.MemoryStatementSource` and feed the trace in
+   chunks, as a live feed would deliver it,
+3. the sliding window folds executions into SQL-fingerprint templates;
+   when it first fills, the daemon *bootstraps* (the initial tune),
+4. at the phase boundary the template distribution drifts past the
+   high-water mark: the hysteresis detector fires exactly once, the
+   daemon re-tunes warm (plan caches are built only for the never-seen
+   write templates), and transition costing decides whether the new
+   configuration's projected savings pay for its index builds,
+5. the trailing stationary traffic causes no further re-tunes -- drift
+   collapses once the window turns over and the detector re-arms.
+
+The same loop ships as ``repro watch --follow trace.ndjson`` (file
+tailing) and as the ``watch_start``/``watch_stats``/``watch_stop`` serve
+operations.
+
+Run with:  python examples/online_demo.py
+"""
+
+from repro.advisor import AdvisorOptions
+from repro.api.session import TuningSession
+from repro.online import MemoryStatementSource, OnlineTuner, OnlineTunerConfig
+from repro.workloads import StarSchemaWorkload
+
+
+def describe(decision) -> None:
+    print(f"\n=== {decision.kind} tune ({decision.verdict}) ===")
+    print(f"drift          : {decision.drift:.3f}")
+    print(f"window         : {decision.window_statements} statements, "
+          f"{decision.window_templates} templates")
+    print(f"cache builds   : {decision.caches_built} "
+          f"(never-seen templates: {decision.new_templates})")
+    if decision.kind != "bootstrap":
+        print(f"transition     : projected saving {decision.projected_saving:,.0f} "
+              f"vs build cost {decision.build_cost:,.0f}")
+    for label in decision.added_indexes:
+        print(f"  + {label}")
+    for label in decision.dropped_indexes:
+        print(f"  - {label}")
+    print(f"re-tune seconds: {decision.seconds:.3f}")
+
+
+def main() -> None:
+    workload = StarSchemaWorkload(seed=7)
+    # 480 statements: 240 of analytics traffic, then 240 update-heavy.
+    lines = workload.trace(480, seed=11, phases=("read", "mixed"))
+    print(f"trace: {len(lines)} NDJSON statements, phases read -> mixed")
+    print(f"first line: {lines[0][:76]}...")
+
+    # The daemon owns the workload, so the session starts empty; per_query
+    # keeps each re-tune's cache builds to exactly the never-seen delta.
+    session = TuningSession(
+        workload.catalog(),
+        [],
+        options=AdvisorOptions(candidate_policy="per_query", max_candidates=40),
+    )
+    tuner = OnlineTuner(
+        session,
+        MemoryStatementSource(),
+        OnlineTunerConfig(
+            window_statements=120, drift_high_water=0.3, drift_low_water=0.1
+        ),
+    )
+
+    # Feed the trace the way a live feed would arrive: 40 statements per poll.
+    for start in range(0, len(lines), 40):
+        tuner.source.feed(lines[start:start + 40])
+        for decision in tuner.poll():
+            describe(decision)
+
+    stats = tuner.statistics
+    print("\n=== daemon statistics ===")
+    print(f"statements ingested : {stats.statements_ingested} "
+          f"({stats.malformed_lines} malformed)")
+    print(f"drift now           : {stats.drift:.3f} "
+          f"(armed={stats.armed}, fires={stats.fires}, rearms={stats.rearms})")
+    print(f"re-tunes            : {stats.retunes_triggered} triggered, "
+          f"{stats.retunes_accepted} accepted, {stats.retunes_rejected} rejected")
+    print(f"session cache builds: {session.statistics.caches_built} "
+          f"(recommends: {session.statistics.recommend_calls})")
+
+    assert stats.fires == 1, "expected exactly one re-tune at the phase boundary"
+    assert stats.retunes_triggered == 1
+
+
+if __name__ == "__main__":
+    main()

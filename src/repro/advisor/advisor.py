@@ -35,17 +35,25 @@ def validate_tuning_limits(
     space_budget_bytes: object = UNSET,
     ilp_gap: object = UNSET,
     ilp_time_limit: object = UNSET,
+    window_statements: object = UNSET,
+    drift_low_water: object = UNSET,
+    drift_high_water: object = UNSET,
+    horizon_statements: object = UNSET,
 ) -> None:
     """Validate the numeric tuning limits shared by every request surface.
 
     One validation path for :class:`AdvisorOptions`,
     :class:`~repro.api.requests.RecommendRequest`,
-    :meth:`~repro.api.session.TuningSession.set_budget` and the ILP
-    selector/solver options: the space budget must be strictly positive,
-    the ILP gap and time limit non-negative (``ilp_time_limit=None`` = no
-    limit; a field left at the :data:`~repro.api.requests.UNSET` sentinel
-    is not checked).  Raises one
-    :class:`~repro.util.errors.AdvisorError` listing *every* offending field.
+    :meth:`~repro.api.session.TuningSession.set_budget`, the ILP
+    selector/solver options and the online daemon's knobs
+    (:class:`~repro.online.daemon.OnlineTunerConfig`, the serve ``watch_*``
+    ops): the space budget must be strictly positive, the ILP gap and time
+    limit non-negative (``ilp_time_limit=None`` = no limit), the sliding
+    window and re-tune horizon strictly positive statement counts, and the
+    drift thresholds a hysteresis band ``0 <= low < high <= 1``.  A field
+    left at the :data:`~repro.api.requests.UNSET` sentinel is not checked.
+    Raises one :class:`~repro.util.errors.AdvisorError` listing *every*
+    offending field.
     """
     problems = []
     if space_budget_bytes is not UNSET:
@@ -67,6 +75,53 @@ def validate_tuning_limits(
             problems.append(
                 f"ilp_time_limit must be >= 0 seconds or None, got {ilp_time_limit!r}"
             )
+    if window_statements is not UNSET:
+        if (
+            not isinstance(window_statements, int)
+            or isinstance(window_statements, bool)
+            or window_statements <= 0
+        ):
+            problems.append(
+                f"window_statements must be an integer > 0, got {window_statements!r}"
+            )
+    if horizon_statements is not UNSET:
+        if (
+            not isinstance(horizon_statements, (int, float))
+            or isinstance(horizon_statements, bool)
+            or not math.isfinite(horizon_statements)
+            or horizon_statements <= 0
+        ):
+            problems.append(
+                f"horizon_statements must be > 0, got {horizon_statements!r}"
+            )
+
+    def _valid_water(value: object) -> bool:
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value)
+            and 0.0 <= value <= 1.0
+        )
+
+    if drift_low_water is not UNSET and not _valid_water(drift_low_water):
+        problems.append(
+            f"drift_low_water must be a number in [0, 1], got {drift_low_water!r}"
+        )
+    if drift_high_water is not UNSET and not _valid_water(drift_high_water):
+        problems.append(
+            f"drift_high_water must be a number in [0, 1], got {drift_high_water!r}"
+        )
+    if (
+        drift_low_water is not UNSET
+        and drift_high_water is not UNSET
+        and _valid_water(drift_low_water)
+        and _valid_water(drift_high_water)
+        and not drift_low_water < drift_high_water
+    ):
+        problems.append(
+            "drift thresholds must form a hysteresis band with "
+            f"low < high, got low={drift_low_water!r} high={drift_high_water!r}"
+        )
     if problems:
         raise AdvisorError("invalid tuning limits: " + "; ".join(problems))
 

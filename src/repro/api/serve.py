@@ -25,18 +25,31 @@ top-level ``"catalog"`` (and optional ``"seed"``) field.
 
 Operations: ``ping``, ``workload``, ``recommend``, ``evaluate``,
 ``what_if``, ``explain``, ``add_queries``, ``remove_queries``,
-``set_budget``, ``set_weights``, ``stats``, ``shutdown``.  ``add_queries``
-accepts DML statements (INSERT/UPDATE/DELETE) next to SELECT queries, and a
-per-entry ``weight``; ``set_weights`` adjusts statement frequencies so
-``recommend`` optimizes net benefit (read savings minus weighted index
-maintenance).
+``set_budget``, ``set_weights``, ``stats``, ``watch_start``,
+``watch_stats``, ``watch_stop``, ``shutdown``.  ``add_queries`` accepts DML
+statements (INSERT/UPDATE/DELETE) next to SELECT queries, and a per-entry
+``weight``; ``set_weights`` adjusts statement frequencies so ``recommend``
+optimizes net benefit (read savings minus weighted index maintenance).
+The ``watch_*`` family attaches an :class:`~repro.online.OnlineTuner` to a
+session: ``watch_start`` begins following a statement feed (a file path, or
+an in-memory source that ``watch_stats`` pushes ``statements`` into),
+``watch_stats`` polls the feed and reports drift/re-tune state, and
+``watch_stop`` detaches.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import time
 from typing import Any, Dict, IO, Optional, Tuple
+
+from repro.online import (
+    FileTailSource,
+    MemoryStatementSource,
+    OnlineTuner,
+    OnlineTunerConfig,
+)
 
 from repro.advisor.advisor import AdvisorOptions
 from repro.api.requests import (
@@ -99,6 +112,7 @@ class ServeFrontend:
         #: wire format) exactly as before.
         self._shared_tier = shared_tier
         self._sessions: Dict[Tuple[str, int], TuningSession] = {}
+        self._watchers: Dict[Tuple[str, int], OnlineTuner] = {}
         self._shutdown = False
 
     # -- sessions ----------------------------------------------------------
@@ -285,7 +299,15 @@ class ServeFrontend:
         statistics = session.statistics
         whatif = session.call_cache.statistics
         last = session.last_result
+        watcher = self._watchers.get(self._watch_key(payload))
         return {
+            "retunes_accepted": statistics.retunes_accepted,
+            "retunes_rejected": statistics.retunes_rejected,
+            # Monotonic-clock readings (compare against each other / the
+            # server's uptime origin); None until the first such call.
+            "last_recommend_at": session.last_recommend_at,
+            "last_retune_at": session.last_retune_at,
+            "watch": None if watcher is None else watcher.statistics.to_dict(),
             "recommend_calls": statistics.recommend_calls,
             "caches_built": statistics.caches_built,
             "caches_from_store": statistics.caches_from_store,
@@ -308,9 +330,128 @@ class ServeFrontend:
             },
         }
 
+    # -- watch (online tuning) ---------------------------------------------
+
+    #: ``watch_start`` params forwarded verbatim into :class:`OnlineTunerConfig`.
+    _WATCH_CONFIG_KEYS = (
+        "window_statements",
+        "max_window_age_seconds",
+        "drift_metric",
+        "drift_high_water",
+        "drift_low_water",
+        "horizon_statements",
+        "poll_interval_seconds",
+        "evaluate_every",
+    )
+
+    def _watch_key(self, payload: Dict[str, Any]) -> Tuple[str, int]:
+        catalog = payload.get("catalog")
+        seed = payload.get("seed")
+        return (
+            catalog if catalog is not None else self._default_catalog,
+            seed if seed is not None else self._default_seed,
+        )
+
+    def _watcher(self, payload: Dict[str, Any]) -> OnlineTuner:
+        key = self._watch_key(payload)
+        tuner = self._watchers.get(key)
+        if tuner is None:
+            raise AdvisorError(
+                f"session for catalog {key[0]!r} (seed {key[1]}) is not watching "
+                "a feed; send watch_start first"
+            )
+        return tuner
+
+    def _op_watch_start(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        key = self._watch_key(payload)
+        if key in self._watchers:
+            raise AdvisorError(
+                f"session for catalog {key[0]!r} (seed {key[1]}) is already "
+                "watching a feed; send watch_stop first"
+            )
+        session = self.session_for(*key)
+        # Watched sessions live on workload churn; per_query keeps each
+        # re-tune's builds to exactly the never-seen templates.
+        policy = str(params.get("candidate_policy", "per_query"))
+        if session.options.candidate_policy != policy:
+            session.configure(candidate_policy=policy)
+        overrides = {k: params[k] for k in self._WATCH_CONFIG_KEYS if k in params}
+        config = OnlineTunerConfig(**overrides)
+        follow = params.get("follow")
+        if follow is not None:
+            source: Any = FileTailSource(
+                str(follow), start_at_end=not params.get("from_start", False)
+            )
+        else:
+            source = MemoryStatementSource()
+        tuner = OnlineTuner(session, source, config)
+        self._watchers[key] = tuner
+        return {
+            "watching": True,
+            "catalog": key[0],
+            "seed": key[1],
+            "source": "file" if follow is not None else "memory",
+            "path": follow,
+            "config": config.to_dict(),
+        }
+
+    def _op_watch_stats(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        tuner = self._watcher(payload)
+        statements = params.get("statements")
+        if statements is not None:
+            if not isinstance(statements, list):
+                raise AdvisorError("'statements' must be a list of feed lines")
+            if not isinstance(tuner.source, MemoryStatementSource):
+                raise AdvisorError(
+                    "'statements' can only be pushed to a memory-source watcher; "
+                    "this one follows a file"
+                )
+            tuner.source.feed(
+                [item if isinstance(item, str) else json.dumps(item) for item in statements]
+            )
+        decisions = tuner.poll()
+        return {
+            "statistics": tuner.statistics.to_dict(),
+            "decisions": [decision.to_dict() for decision in decisions],
+            "config": tuner.config.to_dict(),
+        }
+
+    def _op_watch_stop(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        key = self._watch_key(payload)
+        tuner = self._watchers.pop(key, None)
+        if tuner is None:
+            raise AdvisorError(
+                f"session for catalog {key[0]!r} (seed {key[1]}) is not watching "
+                "a feed; nothing to stop"
+            )
+        tuner.stop()
+        tuner.source.close()
+        return {"watching": False, "statistics": tuner.statistics.to_dict()}
+
     def _op_shutdown(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
         self._shutdown = True
         return {"shutting_down": True}
+
+    # -- observability -----------------------------------------------------
+
+    def session_overview(self) -> list:
+        """Per-session liveness for ``server_stats`` (one dict per session)."""
+        now = time.monotonic()
+        overview = []
+        for (catalog, seed), session in self._sessions.items():
+            statistics = session.statistics
+            overview.append({
+                "catalog": catalog,
+                "seed": seed,
+                "recommend_calls": statistics.recommend_calls,
+                "retunes_accepted": statistics.retunes_accepted,
+                "retunes_rejected": statistics.retunes_rejected,
+                "age_seconds": now - session.created_at,
+                "last_recommend_at": session.last_recommend_at,
+                "last_retune_at": session.last_retune_at,
+                "watching": (catalog, seed) in self._watchers,
+            })
+        return overview
 
     # -- internals ---------------------------------------------------------
 

@@ -43,6 +43,7 @@ import itertools
 import json
 import os
 import signal
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
@@ -92,6 +93,7 @@ class TuningServer:
         self._connection_ids = itertools.count(1)
         self._connections_active = 0
         self._requests_served = 0
+        self._started_at = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -305,7 +307,14 @@ class TuningServer:
             "connections_active": self._connections_active,
             "requests_served": self._requests_served,
             "workers": self._workers,
+            "uptime_seconds": time.monotonic() - self._started_at,
             "tier": self.shared_tier.statistics_dict(),
+            # One entry per catalog-session under each session_id: recommend
+            # and re-tune liveness (monotonic timestamps, watch flag).
+            "session_detail": {
+                session_id: frontend.session_overview()
+                for session_id, frontend in self._frontends.items()
+            },
         }
 
 

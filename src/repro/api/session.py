@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import inspect
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -227,6 +228,10 @@ class SessionStatistics:
     caches_deduplicated: int = 0
     caches_reused: int = 0
     caches_shared: int = 0
+    #: Online re-tunes the transition gate accepted / rejected against this
+    #: session (:meth:`TuningSession.note_retune`); 0/0 unless watched.
+    retunes_accepted: int = 0
+    retunes_rejected: int = 0
 
     def snapshot(self) -> "SessionStatistics":
         """A copy (for before/after deltas in tests and benchmarks)."""
@@ -308,6 +313,12 @@ class TuningSession:
         #: The most recent recommend outcome (for the serve ``stats`` op's
         #: selector telemetry -- selector, optimality gap, solver nodes).
         self.last_result: Optional[AdvisorResult] = None
+        #: Monotonic observability timestamps (``server_stats`` surfaces
+        #: them): when the session was created, when it last recommended,
+        #: and when the online daemon last re-tuned it.
+        self.created_at: float = time.monotonic()
+        self.last_recommend_at: Optional[float] = None
+        self.last_retune_at: Optional[float] = None
         if queries:
             self.add_queries(queries)
 
@@ -445,6 +456,26 @@ class TuningSession:
             self._options, space_budget_bytes=space_budget_bytes
         )
 
+    def configure(self, **overrides: object) -> AdvisorOptions:
+        """Replace option fields for subsequent requests; returns the options.
+
+        ``dataclasses.replace`` re-runs :class:`AdvisorOptions.__post_init__`,
+        so every override gets the same eager validation as construction.
+        Caches are never touched -- options only steer how the next
+        :meth:`recommend` selects and evaluates (the online daemon uses this
+        to put a watched session on the ``per_query`` candidate policy).
+        """
+        self._options = dataclasses.replace(self._options, **overrides)
+        return self._options
+
+    def note_retune(self, accepted: bool) -> None:
+        """Record one online re-tune against this session (daemon callback)."""
+        if accepted:
+            self.statistics.retunes_accepted += 1
+        else:
+            self.statistics.retunes_rejected += 1
+        self.last_retune_at = time.monotonic()
+
     def set_weights(self, weights: Dict[str, float], replace: bool = False) -> Dict[str, float]:
         """Merge per-statement execution-frequency weights into the session.
 
@@ -540,6 +571,7 @@ class TuningSession:
         )
         self.last_result = result
         self.statistics.recommend_calls += 1
+        self.last_recommend_at = time.monotonic()
         after = self.statistics
         return RecommendResponse(
             result=result,

@@ -21,7 +21,13 @@ implementation:
   ``--cache-dir`` persists the caches for later runs,
 * ``serve``          -- the long-lived tuning service: newline-delimited
   JSON requests on stdin, responses on stdout, one warm session per catalog
-  (see :mod:`repro.api.serve` for the protocol).
+  (see :mod:`repro.api.serve` for the protocol),
+* ``watch``          -- the online self-tuning daemon: tail an NDJSON
+  statement feed (``--follow trace.ndjson``), fold it into a sliding
+  window, and re-tune the index configuration when the template mix
+  drifts -- re-tunes are warm (delta cache builds only) and gated by
+  transition costing (see :mod:`repro.online`).  Decisions stream to
+  stdout as NDJSON events.
 
 Examples::
 
@@ -33,6 +39,7 @@ Examples::
     python -m repro cache --catalog star --query-number 4 --builder pinum
     python -m repro cache-workload --catalog star --jobs 4 --cache-dir .inum-cache
     echo '{"op": "recommend"}' | python -m repro serve --catalog tpch
+    python -m repro watch --catalog star --follow trace.ndjson --idle-exit 5
 
 The ``--cache-dir`` directory is a versioned
 :class:`~repro.inum.serialization.CacheStore`::
@@ -298,6 +305,59 @@ def _cmd_cache_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.online import FileTailSource, OnlineTuner, OnlineTunerConfig
+
+    options = AdvisorOptions(
+        space_budget_bytes=gigabytes(args.budget_gb),
+        cost_model=args.cost_model,
+        max_candidates=args.max_candidates,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        selector=args.selector,
+        engine=args.engine,
+        candidate_policy=args.candidate_policy,
+        **_ilp_overrides(args),
+    )
+    # The daemon owns the workload: the session starts empty and receives
+    # the window's templates at the first (bootstrap) tune.
+    catalog, _ = _load_catalog(args.catalog, args.seed)
+    session = TuningSession(
+        catalog,
+        [],
+        options=options,
+        catalog_factory=functools.partial(builtin_catalog_factory, args.catalog, args.seed),
+    )
+    overrides = {
+        key: value
+        for key, value in (
+            ("window_statements", args.window),
+            ("drift_metric", args.metric),
+            ("drift_high_water", args.high_water),
+            ("drift_low_water", args.low_water),
+            ("horizon_statements", args.horizon),
+            ("poll_interval_seconds", args.poll_interval),
+        )
+        if value is not None
+    }
+    config = OnlineTunerConfig(**overrides)
+    source = FileTailSource(args.follow, start_at_end=not args.from_start)
+    tuner = OnlineTuner(session, source, config)
+
+    def emit(event: dict) -> None:
+        print(json.dumps(event), flush=True)
+
+    emit({"event": "watching", "follow": args.follow, "catalog": args.catalog,
+          "config": config.to_dict()})
+    try:
+        tuner.run(max_polls=args.max_polls, idle_exit_seconds=args.idle_exit,
+                  on_event=emit)
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    emit({"event": "final", **tuner.statistics.to_dict()})
+    return 0
+
+
 def _parse_tcp_endpoint(value: str) -> Tuple[str, int]:
     """Split ``HOST:PORT`` (``:PORT`` defaults the host to localhost)."""
     host, separator, port_text = value.rpartition(":")
@@ -468,6 +528,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread-pool size for --tcp (cross-session parallelism cap)")
     add_tuning_options(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="tail an NDJSON statement feed and re-tune on workload drift",
+    )
+    watch.add_argument("--catalog", choices=["star", "tpch"], default="star",
+                       help="built-in catalog the feed's statements run against")
+    watch.add_argument("--seed", type=int, default=7, help="workload generator seed")
+    watch.add_argument("--follow", required=True, metavar="FILE",
+                       help="NDJSON statement feed to tail (may not exist yet)")
+    watch.add_argument("--from-start", action="store_true",
+                       help="replay the file's existing content before tailing "
+                            "(default: watch new lines only)")
+    # Daemon knob defaults live on OnlineTunerConfig; None = not overridden.
+    watch.add_argument("--window", type=int, default=None, metavar="N",
+                       help="sliding-window size in statements (default 200)")
+    watch.add_argument("--metric", choices=["total_variation", "jensen_shannon"],
+                       default=None,
+                       help="drift metric between the reference and current "
+                            "template distributions (default total_variation)")
+    watch.add_argument("--high-water", type=float, default=None, metavar="DRIFT",
+                       help="fire a re-tune when drift exceeds this (default 0.35)")
+    watch.add_argument("--low-water", type=float, default=None, metavar="DRIFT",
+                       help="re-arm the detector when drift falls below this "
+                            "(default 0.15)")
+    watch.add_argument("--horizon", type=int, default=None, metavar="STATEMENTS",
+                       help="future executions a new configuration may amortize "
+                            "its index builds over (default 10000)")
+    watch.add_argument("--poll-interval", type=float, default=None, metavar="SECONDS",
+                       help="how often to poll the feed (default 0.25)")
+    watch.add_argument("--max-polls", type=int, default=None,
+                       help="stop after this many polls (default: run until "
+                            "interrupted or idle)")
+    watch.add_argument("--idle-exit", type=float, default=None, metavar="SECONDS",
+                       help="exit after this long without new statements "
+                            "(default: keep waiting)")
+    add_tuning_options(watch)
+    # A watched session's workload churns template-by-template; per_query
+    # keeps every re-tune's cache builds to exactly the never-seen delta.
+    watch.set_defaults(handler=_cmd_watch, candidate_policy="per_query")
     return parser
 
 

@@ -252,6 +252,38 @@ def _btree_height(leaf_pages: int, fanout: int) -> int:
     return height
 
 
+def index_build_cost(
+    catalog: Catalog, index: Index, params: Optional[CostParameters] = None
+) -> float:
+    """One-time cost of materializing ``index``, in the model's page units.
+
+    ``CREATE INDEX`` pays three phases, all priced from the catalog's
+    statistics (no data access, like everything else in this module):
+
+    * a full heap scan collecting the keys (``heap_pages`` sequential reads
+      plus one tuple-forming CPU charge per row),
+    * an external sort of the entries (``cpu_operator_cost`` per comparison,
+      ``rows * log2(rows)`` comparisons), and
+    * a sequential write of the leaf level (sorted input packs leaves
+      densely, so internal pages are a rounding error).
+
+    The online daemon's index-transition costing weighs this one-time
+    charge against a recommendation's projected benefit over its horizon,
+    so a marginal drift signal cannot thrash billion-row indexes.
+    """
+    p = params or CostParameters()
+    if not catalog.has_table(index.table):
+        raise AdvisorError(f"index build cost: unknown table {index.table!r}")
+    stats = catalog.statistics(index.table)
+    rows = float(stats.row_count)
+    if rows <= 0.0:
+        return 0.0
+    scan = stats.heap_pages * p.seq_page_cost + rows * p.cpu_tuple_cost
+    sort = p.cpu_operator_cost * rows * math.log2(max(2.0, rows))
+    write = index.leaf_pages(stats) * p.seq_page_cost + rows * p.cpu_index_tuple_cost
+    return scan + sort + write
+
+
 def profile_for(
     statement: DmlStatement,
     candidates: Sequence[Index],

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import FrozenSet, List, Optional, Tuple, Union
 
 from repro.util.errors import QueryError
@@ -274,6 +274,17 @@ class Query:
             sql.append("ORDER BY " + ", ".join(str(item) for item in self.order_by))
         return "\n".join(sql)
 
+    def renamed(self, name: str) -> "Query":
+        """This query under another name (identical semantics).
+
+        Template folding (:mod:`repro.online.window`) gives every distinct
+        SQL shape a fingerprint-stable name, so session caches keyed by
+        semantics survive arbitrary renames.
+        """
+        if name == self.name:
+            return self
+        return replace(self, name=name)
+
     def __str__(self) -> str:
         return f"Query({self.name}: {len(self.tables)} tables)"
 
@@ -465,6 +476,12 @@ class DmlStatement:
         if self.filters:
             sql.append("WHERE " + " AND ".join(str(pred) for pred in self.filters))
         return "\n".join(sql)
+
+    def renamed(self, name: str) -> "DmlStatement":
+        """This statement under another name (identical semantics)."""
+        if name == self.name:
+            return self
+        return replace(self, name=name)
 
     def __str__(self) -> str:
         return f"DmlStatement({self.name}: {self.kind.value} {self.table})"

@@ -7,6 +7,7 @@ from repro.workloads.tpch_like import (
     build_tpch_like_catalog,
     tpch_q5_like_query,
 )
+from repro.workloads.trace import TracePhase, emit_trace, zipf_weights
 
 
 def builtin_catalog_factory(name: str, seed: int = 7):
@@ -29,7 +30,10 @@ __all__ = [
     "MixedWorkload",
     "StarSchemaWorkload",
     "TpchLikeWorkload",
+    "TracePhase",
     "build_tpch_like_catalog",
     "builtin_catalog_factory",
+    "emit_trace",
     "tpch_q5_like_query",
+    "zipf_weights",
 ]

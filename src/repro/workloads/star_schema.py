@@ -26,7 +26,7 @@ Data for execution experiments is produced separately (and much smaller) via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
@@ -405,6 +405,33 @@ class StarSchemaWorkload:
                     read_tables.append(table)
         writes = self.dml_statements(write_count, tables=read_tables)
         return MixedWorkload.assemble(reads, writes, read_fraction)
+
+    # -- traces ----------------------------------------------------------------------
+
+    def trace(
+        self,
+        count: int,
+        seed: Optional[int] = None,
+        phases: Sequence[object] = ("read",),
+        skew: float = 1.5,
+    ) -> List[str]:
+        """``count`` NDJSON trace lines replaying this workload's templates.
+
+        Each entry of ``phases`` is a preset (``"read"``, ``"write"``,
+        ``"mixed"``) or an explicit
+        :class:`~repro.workloads.trace.TracePhase`; the trace is split
+        evenly across phases and each phase samples its template pool under
+        a Zipfian popularity law.  Deterministic for a fixed ``(count,
+        seed, phases)`` -- the online daemon's tests and benchmark replay
+        these streams.
+        """
+        from repro.workloads.trace import emit_trace, resolve_phases
+
+        return emit_trace(
+            resolve_phases(self, phases, skew),
+            count,
+            seed=seed if seed is not None else self._seed,
+        )
 
     # -- data ----------------------------------------------------------------------
 

@@ -14,7 +14,7 @@ without the real benchmark data the prototype could not handle anyway.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, ColumnType, ForeignKey, Table
@@ -232,4 +232,20 @@ class TpchLikeWorkload:
 
         return MixedWorkload.assemble(
             self.queries(), self.dml_statements(write_count), read_fraction
+        )
+
+    def trace(
+        self,
+        count: int,
+        seed: Optional[int] = None,
+        phases: Sequence[object] = ("read",),
+        skew: float = 1.5,
+    ) -> List[str]:
+        """``count`` NDJSON trace lines (see ``StarSchemaWorkload.trace``)."""
+        from repro.workloads.trace import emit_trace, resolve_phases
+
+        return emit_trace(
+            resolve_phases(self, phases, skew),
+            count,
+            seed=seed if seed is not None else self._seed,
         )

@@ -1,0 +1,149 @@
+"""Deterministic NDJSON statement traces: Zipfian template replay.
+
+The online daemon (:mod:`repro.online`) consumes an unbounded statement
+stream; tests, benchmarks and the CI smoke job need *repeatable* streams
+with controlled drift.  This module turns a workload's statement templates
+into such a stream: each phase draws statements from its own template pool
+under a Zipfian popularity law (a few hot templates, a long tail -- the
+shape real query logs have), and every draw comes from a seeded
+:class:`~repro.util.rng.DeterministicRNG` sub-stream, so the same
+``(phases, count, seed)`` triple always emits the same lines.
+
+One line per statement execution::
+
+    {"phase": "read", "template": "Q3", "sql": "SELECT ..."}
+
+which is exactly what :class:`~repro.online.stream.FileTailSource` parses.
+Phase boundaries are where drift detection earns its keep: a trace of
+``phases=("read", "write")`` flips the template distribution once, so a
+correctly tuned daemon re-tunes exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.query.ast import Statement
+from repro.util.errors import ReproError
+from repro.util.rng import DeterministicRNG
+
+#: Default Zipf exponent: rank-1 template ~3x as popular as rank-2 at 1.5.
+DEFAULT_SKEW = 1.5
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One phase of a trace: a template pool and its popularity skew.
+
+    ``statements`` is the pool the phase samples from; ``skew`` is the Zipf
+    exponent (0 = uniform).  Template popularity *ranks* are a seeded
+    shuffle of the pool, so two phases over the same pool with different
+    trace seeds stress the drift metric without changing the template set.
+    """
+
+    name: str
+    statements: Tuple[Statement, ...]
+    skew: float = DEFAULT_SKEW
+
+    def __post_init__(self) -> None:
+        if not self.statements:
+            raise ReproError(f"trace phase {self.name!r} has no statements")
+        if not self.skew >= 0.0:
+            raise ReproError(
+                f"trace phase {self.name!r}: skew must be >= 0, got {self.skew!r}"
+            )
+
+
+def zipf_weights(count: int, skew: float) -> List[float]:
+    """Normalized Zipfian popularity for ranks ``1..count``."""
+    if count < 1:
+        raise ReproError(f"zipf_weights needs count >= 1, got {count}")
+    raw = [1.0 / (rank ** skew) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def emit_trace(
+    phases: Sequence[TracePhase], count: int, seed: int = 7
+) -> List[str]:
+    """``count`` NDJSON trace lines across ``phases`` (equal-length slices).
+
+    Statements are sampled independently per phase; the remainder of an
+    uneven split goes to the earliest phases.  Deterministic: the sampling
+    streams derive from ``seed`` and the phase name only.
+    """
+    if not phases:
+        raise ReproError("emit_trace needs at least one phase")
+    if count < len(phases):
+        raise ReproError(
+            f"emit_trace needs count >= {len(phases)} (one per phase), got {count}"
+        )
+    rng = DeterministicRNG(seed).derive("trace")
+    base, remainder = divmod(count, len(phases))
+    lines: List[str] = []
+    for position, phase in enumerate(phases):
+        phase_count = base + (1 if position < remainder else 0)
+        ranked = rng.derive(f"rank:{position}:{phase.name}").shuffle(phase.statements)
+        weights = zipf_weights(len(ranked), phase.skew)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running)
+        draw = rng.derive(f"draw:{position}:{phase.name}")
+        for _ in range(phase_count):
+            point = draw.random()
+            chosen = ranked[-1]
+            for statement, bound in zip(ranked, cumulative):
+                if point < bound:
+                    chosen = statement
+                    break
+            lines.append(json.dumps({
+                "phase": phase.name,
+                "template": chosen.name,
+                "sql": chosen.to_sql(),
+            }))
+    return lines
+
+
+#: A phase spec accepted by ``resolve_phases``: a preset name or an explicit
+#: :class:`TracePhase`.
+PhaseSpec = Union[str, TracePhase]
+
+
+def resolve_phases(
+    workload: object, phases: Sequence[PhaseSpec], skew: float
+) -> List[TracePhase]:
+    """Expand preset names against a workload's template pools.
+
+    Presets: ``"read"`` (the analytical queries), ``"write"`` (the DML
+    statements), ``"mixed"`` (both).  ``workload`` is anything with the
+    shared generator surface (``queries()`` / ``dml_statements()``) --
+    :class:`~repro.workloads.star_schema.StarSchemaWorkload` and
+    :class:`~repro.workloads.tpch_like.TpchLikeWorkload` both qualify.
+    """
+    pools: Dict[str, Tuple[Statement, ...]] = {}
+
+    def pool(preset: str) -> Tuple[Statement, ...]:
+        if preset not in pools:
+            reads = tuple(workload.queries())
+            writes = tuple(workload.dml_statements())
+            pools["read"] = reads
+            pools["write"] = writes
+            pools["mixed"] = reads + writes
+        return pools[preset]
+
+    resolved: List[TracePhase] = []
+    for spec in phases:
+        if isinstance(spec, TracePhase):
+            resolved.append(spec)
+        elif spec in ("read", "write", "mixed"):
+            resolved.append(TracePhase(name=spec, statements=pool(spec), skew=skew))
+        else:
+            raise ReproError(
+                f"unknown trace phase {spec!r} (expected 'read', 'write', "
+                "'mixed' or a TracePhase)"
+            )
+    return resolved

@@ -332,3 +332,37 @@ class TestPluggableSelector:
             assert response.result.selector == "first-fit"
         finally:
             SELECTORS.unregister("first-fit")
+
+
+class TestConfigureAndRetuneAccounting:
+    def test_configure_replaces_options_with_validation(self, session):
+        assert session.options.candidate_policy == "per_query"
+        updated = session.configure(candidate_policy="workload")
+        assert updated.candidate_policy == "workload"
+        assert session.options.candidate_policy == "workload"
+
+    def test_configure_rejects_invalid_overrides(self, session):
+        with pytest.raises(AdvisorError):
+            session.configure(space_budget_bytes=-1)
+        with pytest.raises(TypeError):
+            session.configure(not_a_real_option=True)
+
+    def test_note_retune_updates_counters_and_timestamp(self, session):
+        statistics = session.statistics
+        assert statistics.retunes_accepted == 0
+        assert statistics.retunes_rejected == 0
+        assert session.last_retune_at is None
+        session.note_retune(True)
+        session.note_retune(False)
+        assert session.statistics.retunes_accepted == 1
+        assert session.statistics.retunes_rejected == 1
+        assert session.last_retune_at is not None
+
+    def test_recommend_stamps_last_recommend_at(self, session):
+        assert session.last_recommend_at is None
+        session.recommend(RecommendRequest())
+        first = session.last_recommend_at
+        assert first is not None
+        assert first >= session.created_at
+        session.recommend(RecommendRequest())
+        assert session.last_recommend_at >= first

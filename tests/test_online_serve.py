@@ -1,0 +1,170 @@
+"""Tests for the watch_* serve operations and server observability."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.advisor import AdvisorOptions
+from repro.api.serve import ServeFrontend
+from repro.api.server import TuningClient, TuningServer
+from repro.util.units import megabytes
+from repro.workloads.tpch_like import TpchLikeWorkload
+
+
+@pytest.fixture
+def frontend():
+    return ServeFrontend(
+        default_catalog="tpch",
+        options=AdvisorOptions(space_budget_bytes=megabytes(512), max_candidates=20),
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_lines():
+    return TpchLikeWorkload(seed=7).trace(480, seed=11, phases=("read", "write"))
+
+
+def _ok(response):
+    assert response["ok"] is True, response.get("error")
+    return response["result"]
+
+
+class TestWatchOps:
+    def test_watch_lifecycle_over_a_memory_feed(self, frontend, trace_lines):
+        result = _ok(frontend.handle({"op": "watch_start", "params": {
+            "window_statements": 120, "drift_high_water": 0.3, "drift_low_water": 0.1,
+        }}))
+        assert result["watching"] is True
+        assert result["source"] == "memory"
+        assert result["config"]["window_statements"] == 120
+
+        decisions = []
+        for start in range(0, len(trace_lines), 120):
+            result = _ok(frontend.handle({"op": "watch_stats", "params": {
+                "statements": trace_lines[start:start + 120],
+            }}))
+            decisions.extend(result["decisions"])
+        kinds = [d["kind"] for d in decisions]
+        assert kinds.count("bootstrap") == 1
+        assert kinds.count("drift") == 1
+        statistics = result["statistics"]
+        assert statistics["retunes_triggered"] == 1
+        assert statistics["statements_ingested"] == len(trace_lines)
+        for decision in decisions:
+            assert decision["caches_built"] == decision["new_templates"]
+
+        stopped = _ok(frontend.handle({"op": "watch_stop"}))
+        assert stopped["watching"] is False
+        assert stopped["statistics"]["retunes_triggered"] == 1
+
+    def test_watch_start_switches_the_session_to_per_query(self, frontend):
+        _ok(frontend.handle({"op": "watch_start"}))
+        session = frontend.session_for()
+        assert session.options.candidate_policy == "per_query"
+
+    def test_double_start_and_missing_watcher_are_errors(self, frontend):
+        _ok(frontend.handle({"op": "watch_start"}))
+        again = frontend.handle({"op": "watch_start"})
+        assert again["ok"] is False
+        assert "already watching" in again["error"]["message"]
+        missing = frontend.handle({"op": "watch_stats", "catalog": "star"})
+        assert missing["ok"] is False
+        assert "watch_start first" in missing["error"]["message"]
+        orphan_stop = frontend.handle({"op": "watch_stop", "catalog": "star"})
+        assert orphan_stop["ok"] is False
+
+    def test_statements_push_requires_a_memory_source(self, frontend, tmp_path):
+        path = tmp_path / "feed.ndjson"
+        path.write_text("")
+        _ok(frontend.handle({"op": "watch_start", "params": {"follow": str(path)}}))
+        pushed = frontend.handle({"op": "watch_stats", "params": {"statements": ["SELECT 1"]}})
+        assert pushed["ok"] is False
+        assert "follows a file" in pushed["error"]["message"]
+
+    def test_file_watcher_tails_the_feed(self, frontend, tmp_path, trace_lines):
+        path = tmp_path / "feed.ndjson"
+        path.write_text("")
+        _ok(frontend.handle({"op": "watch_start", "params": {
+            "follow": str(path), "window_statements": 120,
+            "drift_high_water": 0.3, "drift_low_water": 0.1,
+        }}))
+        decisions = []
+        for start in range(0, len(trace_lines), 120):
+            with path.open("a") as handle:
+                handle.write("\n".join(trace_lines[start:start + 120]) + "\n")
+            decisions.extend(_ok(frontend.handle({"op": "watch_stats"}))["decisions"])
+        assert [d["kind"] for d in decisions].count("drift") == 1
+
+    def test_statement_dicts_are_accepted(self, frontend):
+        _ok(frontend.handle({"op": "watch_start", "params": {"window_statements": 2}}))
+        result = _ok(frontend.handle({"op": "watch_stats", "params": {"statements": [
+            {"sql": "SELECT orders.o_totalprice FROM orders "
+                    "WHERE orders.o_totalprice < 500"},
+            json.loads('{"sql": "SELECT orders.o_totalprice FROM orders '
+                       'WHERE orders.o_totalprice < 500"}'),
+        ]}}))
+        assert result["statistics"]["bootstrapped"] is True
+
+    def test_stats_surfaces_watch_and_retune_state(self, frontend, trace_lines):
+        base = _ok(frontend.handle({"op": "stats"}))
+        assert base["watch"] is None
+        assert base["retunes_accepted"] == 0
+        assert base["last_retune_at"] is None
+        _ok(frontend.handle({"op": "watch_start", "params": {
+            "window_statements": 120, "drift_high_water": 0.3, "drift_low_water": 0.1,
+        }}))
+        for start in range(0, len(trace_lines), 120):
+            _ok(frontend.handle({"op": "watch_stats", "params": {
+                "statements": trace_lines[start:start + 120],
+            }}))
+        stats = _ok(frontend.handle({"op": "stats"}))
+        assert stats["watch"]["fires"] == 1
+        assert stats["retunes_accepted"] + stats["retunes_rejected"] == 1
+        assert stats["last_recommend_at"] is not None
+        assert stats["last_retune_at"] is not None
+        assert stats["last_retune_at"] >= stats["last_recommend_at"] - 1e-6
+
+    def test_session_overview_reports_liveness(self, frontend):
+        _ok(frontend.handle({"op": "recommend"}))
+        _ok(frontend.handle({"op": "watch_start"}))
+        (overview,) = frontend.session_overview()
+        assert overview["catalog"] == "tpch"
+        assert overview["recommend_calls"] == 1
+        assert overview["watching"] is True
+        assert overview["age_seconds"] >= 0.0
+        assert overview["last_recommend_at"] is not None
+        assert overview["last_retune_at"] is None
+
+
+class TestServerObservability:
+    def test_server_stats_gains_uptime_and_session_detail(self):
+        async def scenario():
+            server = TuningServer(
+                port=0,
+                default_catalog="tpch",
+                options=AdvisorOptions(
+                    space_budget_bytes=megabytes(512), max_candidates=20
+                ),
+            )
+            await server.start()
+            try:
+                async with TuningClient("127.0.0.1", server.port,
+                                        session_id="observer") as client:
+                    await client.call("recommend")
+                    response = await client.call("server_stats")
+            finally:
+                await server.stop()
+            return response
+
+        response = asyncio.run(scenario())
+        result = _ok(response)
+        assert result["uptime_seconds"] > 0.0
+        detail = result["session_detail"]["observer"]
+        assert len(detail) == 1
+        assert detail[0]["catalog"] == "tpch"
+        assert detail[0]["recommend_calls"] == 1
+        assert detail[0]["last_recommend_at"] is not None
+        assert detail[0]["watching"] is False

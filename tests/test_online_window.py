@@ -1,0 +1,88 @@
+"""Tests for the sliding statement window (repro.online.window)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.online import SlidingWindow
+from repro.query.parser import parse_statement
+from repro.util.errors import AdvisorError
+from repro.util.fingerprint import query_fingerprint
+
+
+def _stmt(sql, name="statement"):
+    return parse_statement(sql, name=name)
+
+
+SEL_A = "SELECT customers.c_age FROM customers WHERE customers.c_age > 30"
+SEL_B = "SELECT products.p_price FROM products WHERE products.p_price < 10"
+INS = "INSERT INTO customers (c_age, c_region) VALUES (30, 1)"
+
+
+class TestFolding:
+    def test_same_sql_folds_to_one_template(self):
+        window = SlidingWindow(10)
+        names = [window.append(_stmt(SEL_A, name=f"q{i}")) for i in range(3)]
+        assert len(set(names)) == 1
+        assert names[0] == f"t_{query_fingerprint(_stmt(SEL_A))}"
+        assert window.statement_count == 3
+        assert window.template_count == 1
+        assert window.template_counts() == {query_fingerprint(_stmt(SEL_A)): 3}
+
+    def test_distribution_is_normalized(self):
+        window = SlidingWindow(10)
+        window.extend([_stmt(SEL_A), _stmt(SEL_A), _stmt(SEL_B), _stmt(INS)])
+        distribution = window.distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[query_fingerprint(_stmt(SEL_A))] == pytest.approx(0.5)
+
+    def test_empty_window_distribution_is_empty(self):
+        assert SlidingWindow(5).distribution() == {}
+
+    def test_workload_weights_are_occurrence_counts(self):
+        window = SlidingWindow(10)
+        window.extend([_stmt(SEL_A), _stmt(SEL_A), _stmt(SEL_B)])
+        statements, weights = window.workload()
+        assert [s.to_sql() for s in statements] == [_stmt(SEL_A).to_sql(), _stmt(SEL_B).to_sql()]
+        assert weights == {statements[0].name: 2.0, statements[1].name: 1.0}
+        assert all(s.name.startswith("t_") for s in statements)
+
+
+class TestEviction:
+    def test_count_bound_evicts_oldest(self):
+        window = SlidingWindow(2)
+        window.extend([_stmt(SEL_A), _stmt(SEL_B), _stmt(INS)])
+        assert window.statement_count == 2
+        assert window.total_appended == 3
+        fingerprints = set(window.template_counts())
+        assert query_fingerprint(_stmt(SEL_A)) not in fingerprints
+        assert query_fingerprint(_stmt(INS)) in fingerprints
+
+    def test_age_bound_evicts_stale_entries(self):
+        now = [0.0]
+        window = SlidingWindow(10, max_age_seconds=5.0, clock=lambda: now[0])
+        window.append(_stmt(SEL_A))
+        now[0] = 3.0
+        window.append(_stmt(SEL_B))
+        now[0] = 6.0
+        window.append(_stmt(INS))  # SEL_A is now 6s old -> evicted
+        assert window.statement_count == 2
+        assert query_fingerprint(_stmt(SEL_A)) not in window.template_counts()
+
+    def test_template_disappears_when_its_last_entry_leaves(self):
+        window = SlidingWindow(1)
+        window.append(_stmt(SEL_A))
+        window.append(_stmt(SEL_B))
+        assert window.template_count == 1
+        statements, weights = window.workload()
+        assert [s.to_sql() for s in statements] == [_stmt(SEL_B).to_sql()]
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(AdvisorError, match="max_statements >= 1"):
+            SlidingWindow(0)
+
+    def test_rejects_nonpositive_age(self):
+        with pytest.raises(AdvisorError, match="max_age_seconds > 0"):
+            SlidingWindow(5, max_age_seconds=0.0)

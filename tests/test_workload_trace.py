@@ -1,0 +1,108 @@
+"""Tests for the deterministic NDJSON trace emitter (repro.workloads.trace)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.query.parser import parse_statement
+from repro.util.errors import ReproError
+from repro.workloads import StarSchemaWorkload, TracePhase, emit_trace, zipf_weights
+from repro.workloads.tpch_like import TpchLikeWorkload
+from repro.workloads.trace import resolve_phases
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(8, 1.5)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert all(weight > 0 for weight in weights)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert all(weight == pytest.approx(0.2) for weight in weights)
+
+    def test_skew_ratio(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError, match="count >= 1"):
+            zipf_weights(0, 1.0)
+
+
+class TestTracePhase:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ReproError, match="no statements"):
+            TracePhase(name="empty", statements=())
+
+    def test_rejects_negative_skew(self):
+        statements = tuple(StarSchemaWorkload(seed=7).queries()[:1])
+        with pytest.raises(ReproError, match="skew must be >= 0"):
+            TracePhase(name="bad", statements=statements, skew=-0.5)
+
+
+class TestEmitTrace:
+    def test_deterministic_for_same_seed(self):
+        workload = StarSchemaWorkload(seed=7)
+        first = workload.trace(60, seed=3, phases=("read", "write"))
+        second = workload.trace(60, seed=3, phases=("read", "write"))
+        assert first == second
+
+    def test_different_seed_differs(self):
+        workload = StarSchemaWorkload(seed=7)
+        assert workload.trace(60, seed=3) != workload.trace(60, seed=4)
+
+    def test_lines_are_parseable_ndjson(self):
+        workload = TpchLikeWorkload(seed=7)
+        for line in workload.trace(20, seed=1, phases=("mixed",)):
+            payload = json.loads(line)
+            assert set(payload) == {"phase", "template", "sql"}
+            statement = parse_statement(payload["sql"], name=payload["template"])
+            assert statement.name == payload["template"]
+
+    def test_phases_split_the_count(self):
+        workload = StarSchemaWorkload(seed=7)
+        lines = workload.trace(101, seed=5, phases=("read", "write"))
+        phases = [json.loads(line)["phase"] for line in lines]
+        assert phases[:51] == ["read"] * 51  # remainder goes to the earliest phase
+        assert phases[51:] == ["write"] * 50
+
+    def test_write_phase_samples_dml_only(self):
+        workload = StarSchemaWorkload(seed=7)
+        dml_names = {statement.name for statement in workload.dml_statements()}
+        lines = workload.trace(40, seed=5, phases=("write",))
+        assert {json.loads(line)["template"] for line in lines} <= dml_names
+
+    def test_zipf_skew_concentrates_mass(self):
+        workload = StarSchemaWorkload(seed=7)
+        lines = workload.trace(400, seed=2, phases=("read",), skew=2.5)
+        counts: dict = {}
+        for line in lines:
+            template = json.loads(line)["template"]
+            counts[template] = counts.get(template, 0) + 1
+        top = max(counts.values())
+        assert top > 400 * 0.4  # the rank-1 template dominates under heavy skew
+
+    def test_rejects_no_phases_and_tiny_count(self):
+        workload = StarSchemaWorkload(seed=7)
+        with pytest.raises(ReproError, match="at least one phase"):
+            emit_trace([], 10)
+        with pytest.raises(ReproError, match="count >= 2"):
+            workload.trace(1, phases=("read", "write"))
+
+    def test_unknown_preset_rejected(self):
+        workload = StarSchemaWorkload(seed=7)
+        with pytest.raises(ReproError, match="unknown trace phase"):
+            workload.trace(10, phases=("oltp",))
+
+    def test_explicit_trace_phase_passes_through(self):
+        workload = TpchLikeWorkload(seed=7)
+        custom = TracePhase(name="hot", statements=tuple(workload.queries()[:1]), skew=0.0)
+        resolved = resolve_phases(workload, [custom, "read"], skew=1.0)
+        assert resolved[0] is custom
+        assert resolved[1].name == "read"
+        lines = emit_trace(resolved, 10, seed=9)
+        assert json.loads(lines[0])["phase"] == "hot"
