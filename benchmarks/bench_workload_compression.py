@@ -1,0 +1,268 @@
+"""Workload compression: a 10k-statement trace tunes like 20 weighted queries.
+
+ROADMAP item 1's pitch is that production traces -- millions of statement
+*instances* drawn from a few dozen *templates* -- collapse into dozens of
+weighted cache builds that the existing advisor machinery consumes
+unchanged.  This benchmark replays a 10 000-statement Zipfian trace over 20
+star-schema templates and times three ways of tuning it:
+
+* **uncompressed** -- every instance is its own session entry; cache
+  construction dedupes to the 20 distinct plans, but candidate generation
+  and every selection round still price 10 000 statements,
+* **compressed**   -- the same raw statements with ``compress=True``:
+  folded to one weighted representative per template before any caches or
+  candidates exist, so the whole tune sees a 20-statement workload,
+* **direct**       -- the 20 distinct templates with their multiplicity
+  as explicit ``statement_weights``: the floor any compression scheme can
+  hope to reach.
+
+Asserted (the PR's acceptance criteria):
+
+* the compressed tune builds **exactly one plan cache per template**,
+* its picks are **byte-identical** to the uncompressed run's and every
+  workload cost agrees within 1e-9 (the semantics-preserving claim,
+  pinned more broadly by ``tests/test_compression_equivalence.py``),
+* compression is **>= 10x faster** than the uncompressed path (>= 3x in
+  CI quick mode, where the trace shrinks to 2 000 statements over 10
+  templates) and within a small factor of the direct weighted tune --
+  tune time scales with distinct *templates*, not statements.
+
+The ``workload_compression`` row lands in ``BENCH_ci.json`` and its
+``compression_speedup`` (a same-run ratio, so runner speed cancels) is
+gated against ``benchmarks/baselines.json`` by ``check_trend.py``.
+
+Run with:  pytest benchmarks/bench_workload_compression.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.advisor import AdvisorOptions
+from repro.api.session import TuningSession
+from repro.bench.harness import ExperimentTable
+from repro.query.parser import parse_statement
+from repro.util.units import gigabytes
+from repro.workloads.trace import TracePhase, emit_trace
+
+#: The acceptance-criteria shape: 10k statements over 20 templates.
+FULL_TEMPLATE_COUNT = 20
+FULL_TRACE_LENGTH = 10_000
+
+#: CI quick-mode shape (REPRO_BENCH_QUERIES set): small enough for the
+#: smoke job, large enough that the uncompressed path still hurts.
+QUICK_TEMPLATE_COUNT = 10
+QUICK_TRACE_LENGTH = 2_000
+
+#: Zipfian popularity exponent for template draws -- skewed like a real
+#: query log, so cluster weights span orders of magnitude.
+TRACE_SKEW = 1.1
+
+
+def _quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUERIES") is not None
+
+
+def _shape():
+    if _quick_mode():
+        return QUICK_TEMPLATE_COUNT, QUICK_TRACE_LENGTH, 3.0
+    return FULL_TEMPLATE_COUNT, FULL_TRACE_LENGTH, 10.0
+
+
+def _options(**overrides) -> AdvisorOptions:
+    return AdvisorOptions(
+        space_budget_bytes=gigabytes(5), max_candidates=60, **overrides
+    )
+
+
+def _picks(result):
+    return [(index.table, index.columns) for index in result.selected_indexes]
+
+
+def _run_compression(star_workload):
+    template_count, trace_length, required = _shape()
+    templates = star_workload.queries(template_count)
+    lines = emit_trace(
+        [TracePhase("hot", tuple(templates), skew=TRACE_SKEW)],
+        trace_length,
+        seed=11,
+    )
+    statements = [
+        parse_statement(json.loads(line)["sql"], name=f"s{position:05d}")
+        for position, line in enumerate(lines)
+    ]
+    catalog = star_workload.catalog()
+
+    # -- uncompressed: 10k session entries, selection prices them all ------
+    started = time.perf_counter()
+    uncompressed_session = TuningSession(catalog, statements, options=_options())
+    uncompressed = uncompressed_session.recommend()
+    uncompressed_seconds = time.perf_counter() - started
+
+    # -- compressed: the same raw statements, folded before tuning ---------
+    started = time.perf_counter()
+    compressed_session = TuningSession(
+        catalog, statements, options=_options(compress=True)
+    )
+    compressed = compressed_session.recommend()
+    compressed_seconds = time.perf_counter() - started
+
+    # -- direct: the 20 templates with explicit multiplicity weights -------
+    # First-seen trace order, matching the fold: the candidate cap ranks
+    # per-query contributions in workload order, so byte-identical picks
+    # need byte-identical workload order too.
+    counts: dict = {}
+    first_seen = []
+    for line in lines:
+        name = json.loads(line)["template"]
+        if name not in counts:
+            first_seen.append(name)
+        counts[name] = counts.get(name, 0.0) + 1.0
+    by_name = {query.name: query for query in templates}
+    started = time.perf_counter()
+    direct_session = TuningSession(
+        catalog,
+        [by_name[name] for name in first_seen],
+        options=_options(statement_weights=counts),
+    )
+    direct = direct_session.recommend()
+    direct_seconds = time.perf_counter() - started
+
+    rows = {
+        "statements": trace_length,
+        "templates": template_count,
+        "distinct_templates": compressed.compression["templates"],
+        "compression_ratio": compressed.compression["ratio"],
+        "lossless": compressed.compression["lossless"],
+        "uncompressed_seconds": uncompressed_seconds,
+        "uncompressed_builds": uncompressed.caches_built,
+        "uncompressed_dedup": uncompressed.caches_deduplicated,
+        "compressed_seconds": compressed_seconds,
+        "compressed_builds": compressed.caches_built,
+        "direct_seconds": direct_seconds,
+        "compression_speedup": uncompressed_seconds / max(compressed_seconds, 1e-9),
+        "compressed_over_direct": compressed_seconds / max(direct_seconds, 1e-9),
+        "required_speedup": required,
+    }
+    return rows, uncompressed, compressed, direct
+
+
+def test_compressed_tune_scales_with_templates(benchmark, star_workload):
+    """20 cache builds, identical picks, >= 10x (3x quick) over uncompressed."""
+    rows, uncompressed, compressed, direct = benchmark.pedantic(
+        _run_compression, args=(star_workload,), rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        f"Workload compression ({rows['statements']} statements, "
+        f"{rows['templates']} templates, skew {TRACE_SKEW})",
+        ["path", "workload entries", "seconds", "caches built"],
+    )
+    table.add_row(
+        "uncompressed", rows["statements"], rows["uncompressed_seconds"],
+        rows["uncompressed_builds"],
+    )
+    table.add_row(
+        "compressed", rows["distinct_templates"], rows["compressed_seconds"],
+        rows["compressed_builds"],
+    )
+    table.add_row(
+        "direct weighted", rows["templates"], rows["direct_seconds"],
+        rows["uncompressed_builds"],
+    )
+    table.print()
+    print(
+        f"compression speedup: {rows['compression_speedup']:.1f}x "
+        f"(ratio {rows['compression_ratio']:.0f}x, "
+        f"compressed/direct {rows['compressed_over_direct']:.2f})"
+    )
+    benchmark.extra_info["workload_compression"] = rows
+
+    # Every template appeared in the trace and the fold found all of them.
+    assert rows["distinct_templates"] == rows["templates"]
+    assert rows["lossless"] is True
+
+    # Exactly one cache build per template -- on both paths (the
+    # uncompressed session dedupes the other N-20 instances away).
+    assert rows["compressed_builds"] == rows["templates"]
+    assert rows["uncompressed_builds"] == rows["templates"]
+    assert rows["uncompressed_dedup"] == rows["statements"] - rows["templates"]
+
+    # Semantics preserved: byte-identical picks, costs within 1e-9, on
+    # both the compressed and the direct weighted path.
+    assert _picks(compressed.result) == _picks(uncompressed.result)
+    assert _picks(direct.result) == _picks(uncompressed.result)
+    for reference in (uncompressed, direct):
+        relative = abs(
+            compressed.result.workload_cost_after
+            - reference.result.workload_cost_after
+        ) / reference.result.workload_cost_after
+        assert relative < 1e-9
+
+    # The headline: tune time follows distinct templates, not statements.
+    assert rows["compression_speedup"] >= rows["required_speedup"], (
+        f"compression speedup {rows['compression_speedup']:.1f}x below the "
+        f"required {rows['required_speedup']}x "
+        f"(uncompressed {rows['uncompressed_seconds']:.2f}s, "
+        f"compressed {rows['compressed_seconds']:.2f}s)"
+    )
+    # ... and stays within a small factor of the direct weighted tune
+    # (the gap is the fold itself: templatizing the whole trace).
+    assert rows["compressed_over_direct"] <= 5.0
+
+
+def test_compression_is_exact_under_uniform_replay(star_workload):
+    """Uniform multiplicity k: picks unchanged, every cost scaled by k.
+
+    The cheapest possible correctness probe (no trace, no timing): k
+    literal-identical instances per template must recommend exactly what
+    one instance each does, at k times the cost.
+    """
+    template_count, _, _ = _shape()
+    templates = star_workload.queries(min(template_count, 10))
+    instances = [
+        query.renamed(f"{query.name}_i{copy}")
+        for query in templates
+        for copy in range(4)
+    ]
+    catalog = star_workload.catalog()
+    base = TuningSession(catalog, templates, options=_options()).recommend()
+    folded = TuningSession(
+        catalog, instances, options=_options(compress=True)
+    ).recommend()
+    assert folded.compression["ratio"] == 4.0
+    assert _picks(folded.result) == _picks(base.result)
+    relative = abs(
+        folded.result.workload_cost_after - 4.0 * base.result.workload_cost_after
+    ) / (4.0 * base.result.workload_cost_after)
+    assert relative < 1e-9
+
+
+def _main() -> int:
+    """Standalone entry point (``python benchmarks/bench_workload_compression.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI shape: 2k statements over 10 templates, 3x floor",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        os.environ.setdefault("REPRO_BENCH_QUERIES", "10")
+    from repro.workloads import StarSchemaWorkload
+
+    class _Recorder:
+        extra_info: dict = {}
+
+        def pedantic(self, target, args=(), rounds=1, iterations=1):
+            return target(*args)
+
+    test_compressed_tune_scales_with_templates(_Recorder(), StarSchemaWorkload(seed=7))
+    print("workload compression benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -19,6 +19,13 @@ in the same process) is gated the same way when present in the report; runs
 without online rows just note the absence, so partial benchmark invocations
 keep passing.
 
+The workload-compression ``compression_speedup``
+(``bench_workload_compression.py``: uncompressed tune seconds over the
+compressed tune of the same trace, same run, so runner speed cancels) is a
+bigger-is-better ratio and therefore gated as a *floor*: a speedup below
+``baseline / tolerance`` fails, and ``--update`` keeps the smallest speedup
+ever seen.
+
 Usage::
 
     python benchmarks/check_trend.py BENCH_ci.json            # gate (CI)
@@ -72,6 +79,20 @@ def online_ratios(report_path: Path) -> dict:
     return ratios
 
 
+def compression_speedup(report_path: Path) -> float:
+    """``compression_speedup`` from ``bench_workload_compression.py`` rows.
+
+    ``None``-equivalent 0.0 when the report has no compression row
+    (partial runs are fine).
+    """
+    report = json.loads(report_path.read_text())
+    for bench in report.get("benchmarks", []):
+        info = bench.get("extra_info", {}).get("workload_compression")
+        if info and "compression_speedup" in info:
+            return float(info["compression_speedup"])
+    return 0.0
+
+
 def current_ratios(rows: list) -> dict:
     ratios = {}
     for row in rows:
@@ -84,7 +105,7 @@ def current_ratios(rows: list) -> dict:
     return ratios
 
 
-def update(baselines_path: Path, ratios: dict, online: dict) -> None:
+def update(baselines_path: Path, ratios: dict, online: dict, compression: float) -> None:
     baselines = (
         json.loads(baselines_path.read_text()) if baselines_path.exists() else {}
     )
@@ -99,13 +120,18 @@ def update(baselines_path: Path, ratios: dict, online: dict) -> None:
         row["warm_over_cold"] = round(
             max(float(row.get("warm_over_cold", 0.0)), worst), 4
         )
+    if compression > 0.0:
+        # Bigger is better here, so "worst seen" is the *smallest* speedup.
+        row = baselines.setdefault("workload_compression", {})
+        previous = float(row.get("compression_speedup", compression))
+        row["compression_speedup"] = round(min(previous, compression), 4)
     baselines.setdefault("tolerance", 1.25)
     baselines.setdefault("min_candidates", 60)
     baselines_path.write_text(json.dumps(baselines, indent=2, sort_keys=True) + "\n")
     print(f"updated {baselines_path}")
 
 
-def check(baselines_path: Path, ratios: dict, online: dict) -> int:
+def check(baselines_path: Path, ratios: dict, online: dict, compression: float) -> int:
     if not baselines_path.exists():
         raise SystemExit(
             f"{baselines_path} is missing -- regenerate it with --update "
@@ -166,6 +192,32 @@ def check(baselines_path: Path, ratios: dict, online: dict) -> int:
                     f"exceeds {limit:.4f} (baseline {baseline} x {tolerance})"
                 )
 
+    if compression <= 0.0:
+        print("  (no workload_compression row in this report -- "
+              "compression gate skipped)")
+    else:
+        committed_compression = baselines.get("workload_compression", {})
+        baseline = committed_compression.get("compression_speedup")
+        if baseline is None:
+            failures.append(
+                "  workload_compression: no committed compression_speedup "
+                "baseline -- run with --update and commit baselines.json"
+            )
+        else:
+            # Floor, not ceiling: the speedup may only shrink by tolerance.
+            limit = float(baseline) / tolerance
+            verdict = "ok" if compression >= limit else "REGRESSED"
+            print(
+                f"  workload compression_speedup     {compression:.4f} "
+                f"(baseline {float(baseline):.4f}, floor {limit:.4f}) {verdict}"
+            )
+            if compression < limit:
+                failures.append(
+                    f"  workload_compression: compression_speedup "
+                    f"{compression:.4f} fell below {limit:.4f} "
+                    f"(baseline {baseline} / {tolerance})"
+                )
+
     if failures:
         print("benchmark trend regressed >25% vs committed baselines:",
               file=sys.stderr)
@@ -190,10 +242,11 @@ def main(argv=None) -> int:
     options = parser.parse_args(argv)
     ratios = current_ratios(selection_rows(options.report))
     online = online_ratios(options.report)
+    compression = compression_speedup(options.report)
     if options.update:
-        update(options.baselines, ratios, online)
+        update(options.baselines, ratios, online, compression)
         return 0
-    return check(options.baselines, ratios, online)
+    return check(options.baselines, ratios, online, compression)
 
 
 if __name__ == "__main__":

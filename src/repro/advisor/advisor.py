@@ -180,6 +180,12 @@ class AdvisorOptions:
     selector: str = "lazy"
     engine: str = "auto"
     candidate_policy: str = "workload"
+    #: Fold the workload by template fingerprint before tuning
+    #: (:mod:`repro.workloads.compress`): one weighted representative per
+    #: statement template, so a 10k-instance trace costs dozens of cache
+    #: builds.  Exact when instances of a template share their literals;
+    #: a first-seen-representative approximation otherwise.
+    compress: bool = False
     statement_weights: Optional[
         Union[Mapping[str, float], Tuple[Tuple[str, float], ...]]
     ] = None
@@ -268,6 +274,12 @@ class AdvisorResult:
     #: ILP warm start was never beaten) or "solver" (branch and bound
     #: improved on greedy).
     incumbent_source: str = "n/a"
+    #: Workload-compression summary when the run tuned a template-folded
+    #: view (``AdvisorOptions.compress`` / ``recommend --compress``):
+    #: ``{"statements", "templates", "ratio", "total_weight", "lossless"}``
+    #: from :meth:`repro.workloads.compress.CompressedWorkload.stats`;
+    #: ``None`` for an uncompressed run.
+    compression: Optional[Dict[str, object]] = None
 
     @property
     def improvement_fraction(self) -> float:
@@ -307,6 +319,13 @@ class AdvisorResult:
             lines.append(
                 f"write-dominated       : {self.candidates_pruned_for_writes} "
                 "candidates pruned (maintenance cost exceeds any read benefit)"
+            )
+        if self.compression is not None:
+            lines.append(
+                f"workload compression  : {self.compression['statements']} statements "
+                f"-> {self.compression['templates']} templates "
+                f"({self.compression['ratio']:.1f}x, "
+                f"{'exact' if self.compression['lossless'] else 'approximate'})"
             )
         for index in self.selected_indexes:
             lines.append(f"  - {index.table}({', '.join(index.columns)})")

@@ -93,6 +93,9 @@ class RecommendRequest:
     #: uses the UNSET sentinel because ``None`` is meaningful (no limit).
     ilp_gap: Optional[float] = None
     ilp_time_limit: Union[float, None, _Unset] = UNSET
+    #: Tune a template-compressed view of the workload for this call
+    #: (``None`` = inherit ``AdvisorOptions.compress``).
+    compress: Optional[bool] = None
 
     def __post_init__(self) -> None:
         # Same validation AdvisorOptions applies, before any session work.
@@ -115,6 +118,7 @@ class RecommendRequest:
             "space_budget_bytes", "cost_model", "selector", "engine",
             "candidate_policy", "max_candidates", "min_relative_benefit",
             "candidates", "statement_weights", "ilp_gap", "ilp_time_limit",
+            "compress",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -130,6 +134,9 @@ class RecommendRequest:
                 "'statement_weights' must be an object mapping statement names "
                 "to numeric weights"
             )
+        compress = kwargs.get("compress")
+        if compress is not None and not isinstance(compress, bool):
+            raise AdvisorError(f"'compress' must be a boolean, got {compress!r}")
         return cls(**kwargs)
 
 
@@ -208,6 +215,10 @@ class RecommendResponse:
     caches_deduplicated: int = 0
     caches_reused: int = 0
     caches_shared: int = 0
+    #: Workload-compression summary (statements, templates, ratio,
+    #: total_weight, lossless) when the call tuned a compressed view;
+    #: ``None`` for an uncompressed recommend.
+    compression: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form (the ``repro serve`` wire format)."""
@@ -230,6 +241,7 @@ class RecommendResponse:
             "optimality_gap": result.optimality_gap,
             "nodes_explored": result.nodes_explored,
             "incumbent_source": result.incumbent_source,
+            "compression": self.compression,
             "session": {
                 "caches_built": self.caches_built,
                 "caches_from_store": self.caches_from_store,

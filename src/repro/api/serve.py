@@ -236,6 +236,9 @@ class ServeFrontend:
                 "add_queries needs a non-empty 'queries' list of "
                 "{'sql': ..., 'name': ..., 'weight': ...} objects"
             )
+        compress = params.get("compress", False)
+        if not isinstance(compress, bool):
+            raise AdvisorError(f"'compress' must be a boolean, got {compress!r}")
         queries = []
         weights: Dict[str, float] = {}
         taken = set(session.query_names)
@@ -260,6 +263,17 @@ class ServeFrontend:
                 # the middle of the batch cannot leave statements half-added
                 # (the same atomicity add_queries itself guarantees).
                 weights[name] = validate_statement_weight(name, entry["weight"])
+        if compress:
+            # The fold handles per-entry weights itself (cluster weights are
+            # weighted sums), and the returned names are the representatives.
+            added = session.add_queries(
+                queries, compress=True, weights=weights or None
+            )
+            return {
+                "added": added,
+                "workload_size": len(session.queries),
+                "compression": session.last_compression,
+            }
         added = session.add_queries(queries)
         if weights:
             session.set_weights(weights)

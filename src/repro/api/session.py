@@ -81,7 +81,12 @@ from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
 from repro.query.ast import DmlStatement, Query, Statement
 from repro.util.errors import AdvisorError
-from repro.util.fingerprint import index_set_fingerprint, query_fingerprint
+from repro.util.fingerprint import (
+    index_set_fingerprint,
+    query_fingerprint,
+    template_fingerprint,
+)
+from repro.workloads.compress import compress_workload
 
 #: Identity of one pooled cache: (query fingerprint, builder, candidate-set
 #: fingerprint).  Everything that can make a cache unusable is in the key, so
@@ -319,6 +324,11 @@ class TuningSession:
         self.created_at: float = time.monotonic()
         self.last_recommend_at: Optional[float] = None
         self.last_retune_at: Optional[float] = None
+        #: Stats of the most recent workload compression (an
+        #: ``add_queries(compress=True)`` fold or a compressed recommend);
+        #: ``None`` until one happens.  Serve's ``add_queries`` op surfaces
+        #: it so clients see the fold ratio they just paid for.
+        self.last_compression: Optional[Dict[str, object]] = None
         if queries:
             self.add_queries(queries)
 
@@ -392,27 +402,73 @@ class TuningSession:
 
     # -- workload mutation -------------------------------------------------
 
-    def add_queries(self, queries: Sequence[Statement]) -> List[str]:
+    def add_queries(
+        self,
+        queries: Sequence[Statement],
+        *,
+        compress: bool = False,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> List[str]:
         """Append statements (queries or DML) to the workload; returns the names.
 
         Names must be unique within the session (the caches, cost models and
         reports are keyed by name).
+
+        ``compress=True`` folds the incoming batch by template fingerprint
+        first (:func:`~repro.workloads.compress.compress_workload`): one
+        fingerprint-named representative per template enters the workload
+        with the cluster's multiplicity merged into the session's statement
+        weights, and re-adding instances of a template already in the
+        session just bumps its weight -- so a statement stream can be fed
+        in batches without the workload growing past the template count.
+        ``weights`` (compress only) maps incoming statement names to
+        frequencies, default 1.0 each; the returned names are the
+        representatives, one per distinct template.
         """
-        incoming = list(queries)
-        # Validate the whole batch before touching the workload, so a
-        # duplicate in the middle never leaves a half-applied mutation.
-        seen: set = set()
-        for query in incoming:
-            if query.name in self._queries or query.name in seen:
+        if not compress:
+            if weights is not None:
                 raise AdvisorError(
-                    f"a query named {query.name!r} is already in the session workload"
+                    "add_queries(weights=...) requires compress=True "
+                    "(use set_weights for uncompressed workloads)"
                 )
-            seen.add(query.name)
-        for query in incoming:
-            self._queries[query.name] = query
-        if incoming:
+            incoming = list(queries)
+            # Validate the whole batch before touching the workload, so a
+            # duplicate in the middle never leaves a half-applied mutation.
+            seen: set = set()
+            for query in incoming:
+                if query.name in self._queries or query.name in seen:
+                    raise AdvisorError(
+                        f"a query named {query.name!r} is already in the session workload"
+                    )
+                seen.add(query.name)
+            for query in incoming:
+                self._queries[query.name] = query
+            if incoming:
+                self._invalidate_model()
+            return [query.name for query in incoming]
+
+        compressed = compress_workload(list(queries), weights)
+        self.last_compression = compressed.stats()
+        merged = self._options.weight_map()
+        for cluster in compressed.clusters:
+            name = cluster.representative.name
+            existing = self._queries.get(name)
+            if existing is None:
+                self._queries[name] = cluster.representative
+                merged[name] = cluster.weight
+                continue
+            if template_fingerprint(existing) != cluster.fingerprint:
+                raise AdvisorError(
+                    f"a statement named {name!r} is already in the session "
+                    "workload with a different template"
+                )
+            merged[name] = merged.get(name, 1.0) + cluster.weight
+        if compressed.clusters:
+            self._options = dataclasses.replace(
+                self._options, statement_weights=merged or None
+            )
             self._invalidate_model()
-        return [query.name for query in incoming]
+        return [cluster.representative.name for cluster in compressed.clusters]
 
     def remove_queries(self, names: Sequence[str]) -> List[str]:
         """Remove queries by name; returns the removed names.
@@ -516,6 +572,19 @@ class TuningSession:
         if not workload:
             raise AdvisorError("the workload must contain at least one query")
 
+        compression_stats: Optional[Dict[str, object]] = None
+        if options.compress:
+            # Tune a template-folded view: one weighted representative per
+            # template.  The session workload itself is untouched -- only
+            # this call's cost model and selection see the compressed shape.
+            compressed = compress_workload(workload, options.weight_map() or None)
+            workload = compressed.statements
+            options = dataclasses.replace(
+                options, statement_weights=compressed.weights or None
+            )
+            compression_stats = compressed.stats()
+            self.last_compression = compression_stats
+
         if request.candidates is not None:
             plan = explicit_candidate_plan(
                 request.candidates, workload, options.max_candidates
@@ -568,6 +637,7 @@ class TuningSession:
             optimality_gap=selection_stats.optimality_gap,
             nodes_explored=selection_stats.nodes_explored,
             incumbent_source=selection_stats.incumbent_source,
+            compression=compression_stats,
         )
         self.last_result = result
         self.statistics.recommend_calls += 1
@@ -583,6 +653,7 @@ class TuningSession:
             caches_deduplicated=after.caches_deduplicated - before.caches_deduplicated,
             caches_reused=after.caches_reused - before.caches_reused,
             caches_shared=after.caches_shared - before.caches_shared,
+            compression=compression_stats,
         )
 
     def evaluate(self, request: EvaluateRequest) -> EvaluateResponse:
@@ -826,6 +897,8 @@ class TuningSession:
             overrides["ilp_gap"] = request.ilp_gap
         if request.ilp_time_limit is not UNSET:
             overrides["ilp_time_limit"] = request.ilp_time_limit
+        if request.compress is not None:
+            overrides["compress"] = request.compress
         if request.statement_weights is not None:
             # Same validation set_weights applies: a typo'd name must fail
             # loudly, not silently price the workload without the weight.

@@ -186,6 +186,7 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
             selector=args.selector,
             engine=args.engine,
             candidate_policy=args.candidate_policy,
+            compress=getattr(args, "compress", False),
             statement_weights=weights,
             **_ilp_overrides(args),
         ),
@@ -216,11 +217,13 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         "Per-query estimated cost",
         ["query", "before", "after", "improvement"],
     )
-    for query in queries:
-        before = result.per_query_cost_before[query.name]
-        after = result.per_query_cost_after[query.name]
+    # Iterate the result's own keys: a --compress run tunes the folded view,
+    # so its per-query rows are templates, not the raw workload statements.
+    for name in result.per_query_cost_before:
+        before = result.per_query_cost_before[name]
+        after = result.per_query_cost_after[name]
         improvement = 0.0 if before == 0 else 100.0 * (1 - after / before)
-        table.add_row(query.name, before, after, f"{improvement:.1f}%")
+        table.add_row(name, before, after, f"{improvement:.1f}%")
     table.print()
     return 0
 
@@ -480,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
     recommend = subparsers.add_parser("recommend", help="run the greedy index advisor")
     add_common(recommend)
     add_tuning_options(recommend)
+    recommend.add_argument("--compress", action="store_true",
+                           help="fold the workload by statement template before "
+                                "tuning: one weighted representative per template "
+                                "(literals -> parameter markers), so a large trace "
+                                "costs one cache build per distinct template")
     recommend.set_defaults(handler=_cmd_recommend)
 
     cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")

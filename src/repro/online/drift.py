@@ -63,6 +63,10 @@ def jensen_shannon(p: Distribution, q: Distribution) -> float:
     for key in set(p) | set(q):
         pk, qk = p.get(key, 0.0), q.get(key, 0.0)
         mk = 0.5 * (pk + qk)
+        if mk <= 0.0:
+            # 0.5 * subnormal underflows to exactly 0.0; the true
+            # contribution of such a term is below representable precision.
+            continue
         if pk > 0.0:
             divergence += 0.5 * pk * math.log2(pk / mk)
         if qk > 0.0:

@@ -3,15 +3,22 @@
 A tuning session wants a *workload* -- a list of distinct statements plus
 execution-frequency weights -- but a stream delivers one execution at a
 time.  The window bridges the two: statements are folded into templates by
-SQL fingerprint (:func:`~repro.util.fingerprint.query_fingerprint`, so two
-differently-named executions of the same SQL are one template), each
-template keeps its occurrence count, and the window evicts by count bound
-(and optionally by age) so the fold always reflects *recent* traffic.
+*template* fingerprint (:func:`~repro.util.fingerprint.template_fingerprint`,
+so executions of the same SQL shape are one template regardless of their
+literals or names), each template keeps its occurrence count, and the
+window evicts by count bound (and optionally by age) so the fold always
+reflects *recent* traffic.
+
+Keying by template rather than raw SQL is what keeps the distinct-key
+count bounded by the application's template count: parameter churn (the
+same query re-executed with different constants, the dominant variation in
+production logs) neither inflates the window's template set nor dilutes
+its drift distribution.  The first-seen instance stands for its template.
 
 Template names are fingerprint-stable (``t_<fingerprint>``): the same SQL
-always folds to the same name, which is what lets the session's cache pool
-recognise a returning template across arbitrarily many window turnovers --
-the "delta builds only" property the daemon's re-tunes rely on.
+shape always folds to the same name, which is what lets the session's
+cache pool recognise a returning template across arbitrarily many window
+turnovers -- the "delta builds only" property the daemon's re-tunes rely on.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from collections import deque
 
 from repro.query.ast import Statement
 from repro.util.errors import AdvisorError
-from repro.util.fingerprint import query_fingerprint
+from repro.util.fingerprint import template_fingerprint
 
 
 @dataclass
@@ -70,7 +77,7 @@ class SlidingWindow:
 
     def append(self, statement: Statement) -> str:
         """Fold one execution in; returns the template's stable name."""
-        fingerprint = query_fingerprint(statement)
+        fingerprint = template_fingerprint(statement)
         template = self._templates.get(fingerprint)
         if template is None:
             template = _Template(statement.renamed(f"t_{fingerprint}"))

@@ -1,0 +1,388 @@
+"""Template normalization: literals out, typed parameter markers in.
+
+Production traces contain millions of statement *instances* drawn from a
+few dozen *templates* -- the same SQL shape re-executed with different
+literals.  This module is the normalization layer that makes that
+distinction computable:
+
+* :func:`templatize` rewrites every literal in a parsed :class:`~repro.query.ast.Query`
+  or :class:`~repro.query.ast.DmlStatement` into a typed parameter marker,
+  returning a canonical :class:`QueryTemplate` plus the extracted parameter
+  vector.  Two statements that differ only in literals produce *equal*
+  templates (and equal :func:`~repro.util.fingerprint.template_fingerprint`
+  values); statements differing in any structural way never collide.
+* :meth:`QueryTemplate.instantiate` inverts it: substituting a parameter
+  vector back into the template reproduces a concrete statement, and
+  ``templatize(t.instantiate(p)) == (t, p)`` holds exactly (the hypothesis
+  round-trip property in ``tests/test_query_templates.py``).
+
+The supported grammar's literals are all numeric (predicate constants,
+INSERT VALUES rows, UPDATE SET assignments), so every marker carries the
+single type tag ``num``: the parameterized SQL of
+``SELECT a.c FROM a WHERE a.c = 3.0 AND a.k BETWEEN 1.0 AND 9.0`` is::
+
+    SELECT a.c FROM a WHERE a.c = ?1:num AND a.k BETWEEN ?2:num AND ?3:num
+
+Markers are numbered in SQL appearance order, which is also the order of
+the extracted parameter vector and of :attr:`QueryTemplate.slots`.
+
+Everything raises :class:`~repro.util.errors.QueryError` on bad input --
+never anything else; :func:`templatize_sql` feeds arbitrary text through
+the parser first, so mutilated SQL fails the same controlled way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.query.ast import (
+    Comparison,
+    DmlKind,
+    DmlStatement,
+    Predicate,
+    Query,
+    Statement,
+)
+from repro.query.parser import parse_statement
+from repro.util.errors import QueryError
+from repro.util.fingerprint import template_fingerprint
+
+#: Prefix of the fingerprint-stable names given to template skeletons.
+TEMPLATE_NAME_PREFIX = "tpl_"
+
+#: The single parameter type of the supported grammar (all literals are
+#: numeric); markers render as ``?<n>:num``.
+NUMERIC = "num"
+
+#: Placeholder literal stored in skeleton slots (every extracted literal
+#: position holds this value, so equal-template statements produce
+#: byte-identical skeletons).
+_PLACEHOLDER = 0.0
+
+
+@dataclass(frozen=True)
+class ParameterSlot:
+    """Where one extracted literal lives in the statement AST.
+
+    ``kind`` names the literal class; ``path`` locates it:
+
+    ========================  =============================================
+    kind                      path
+    ========================  =============================================
+    ``filter_value``          ``(filter_index,)`` -- ``Predicate.value``
+    ``filter_high``           ``(filter_index,)`` -- BETWEEN ``value2``
+    ``insert_value``          ``(row_index, column_index)`` in ``values``
+    ``set_value``             ``(assignment_index,)`` in ``set_values``
+    ========================  =============================================
+    """
+
+    kind: str
+    path: Tuple[int, ...]
+
+    @property
+    def type_tag(self) -> str:
+        """The marker type tag (always ``num`` in this grammar)."""
+        return NUMERIC
+
+
+def _marker(position: int) -> str:
+    """The typed parameter marker for 1-based ``position``."""
+    return f"?{position}:{NUMERIC}"
+
+
+def _predicate_markers(
+    predicates: Sequence[Predicate], start: int
+) -> Tuple[List[str], List[ParameterSlot], List[float], int]:
+    """Marker renderings, slots and literals for a filter list."""
+    rendered: List[str] = []
+    slots: List[ParameterSlot] = []
+    params: List[float] = []
+    position = start
+    for index, pred in enumerate(predicates):
+        if pred.op is Comparison.BETWEEN:
+            rendered.append(
+                f"{pred.column} BETWEEN {_marker(position)} AND {_marker(position + 1)}"
+            )
+            slots.append(ParameterSlot("filter_value", (index,)))
+            slots.append(ParameterSlot("filter_high", (index,)))
+            params.extend((pred.value, float(pred.value2)))
+            position += 2
+        else:
+            rendered.append(f"{pred.column} {pred.op.value} {_marker(position)}")
+            slots.append(ParameterSlot("filter_value", (index,)))
+            params.append(pred.value)
+            position += 1
+    return rendered, slots, params, position
+
+
+def _analyze(
+    statement: Statement,
+) -> Tuple[str, Tuple[ParameterSlot, ...], Tuple[float, ...]]:
+    """``(parameterized SQL, slots, params)`` for a parsed statement.
+
+    The single traversal that defines marker numbering: literals are
+    visited in SQL appearance order, which both :func:`parameterized_sql`
+    (the fingerprint input) and :func:`templatize` (the parameter vector)
+    share by construction.
+    """
+    if isinstance(statement, Query):
+        select_items = [str(ref) for ref in statement.select_columns]
+        select_items.extend(str(agg) for agg in statement.aggregates)
+        sql = [f"SELECT {', '.join(select_items)}"]
+        sql.append(f"FROM {', '.join(statement.tables)}")
+        rendered, slots, params, _ = _predicate_markers(statement.filters, 1)
+        conditions = [str(join) for join in statement.joins] + rendered
+        if conditions:
+            sql.append("WHERE " + " AND ".join(conditions))
+        if statement.group_by:
+            sql.append("GROUP BY " + ", ".join(str(ref) for ref in statement.group_by))
+        if statement.order_by:
+            sql.append("ORDER BY " + ", ".join(str(item) for item in statement.order_by))
+        return "\n".join(sql), tuple(slots), tuple(params)
+
+    if isinstance(statement, DmlStatement):
+        slots = []
+        params = []
+        position = 1
+        if statement.kind is DmlKind.INSERT:
+            rows = []
+            for row_index, row in enumerate(statement.values):
+                cells = []
+                for column_index, value in enumerate(row):
+                    cells.append(_marker(position))
+                    slots.append(ParameterSlot("insert_value", (row_index, column_index)))
+                    params.append(value)
+                    position += 1
+                rows.append("(" + ", ".join(cells) + ")")
+            sql_text = (
+                f"INSERT INTO {statement.table} ({', '.join(statement.columns)})\n"
+                f"VALUES {', '.join(rows)}"
+            )
+            return sql_text, tuple(slots), tuple(params)
+        if statement.kind is DmlKind.UPDATE:
+            assignments = []
+            for index, column in enumerate(statement.columns):
+                assignments.append(f"{statement.table}.{column} = {_marker(position)}")
+                slots.append(ParameterSlot("set_value", (index,)))
+                params.append(statement.set_values[index])
+                position += 1
+            sql = [f"UPDATE {statement.table}", f"SET {', '.join(assignments)}"]
+        else:  # DELETE
+            sql = [f"DELETE FROM {statement.table}"]
+        rendered, filter_slots, filter_params, _ = _predicate_markers(
+            statement.filters, position
+        )
+        if rendered:
+            sql.append("WHERE " + " AND ".join(rendered))
+        slots.extend(filter_slots)
+        params.extend(filter_params)
+        return "\n".join(sql), tuple(slots), tuple(params)
+
+    raise QueryError(
+        f"templatizer expects a parsed Query or DmlStatement, got {type(statement).__name__}"
+    )
+
+
+def parameterized_sql(statement: Statement) -> str:
+    """The statement's SQL with every literal replaced by a typed marker.
+
+    This is the canonical text :func:`~repro.util.fingerprint.template_fingerprint`
+    digests -- cheap enough (one string render, no AST rebuild) that the
+    online window calls it once per streamed execution.
+    """
+    sql, _, _ = _analyze(statement)
+    return sql
+
+
+def _checked_params(
+    slots: Tuple[ParameterSlot, ...], params: Sequence[float], name: str
+) -> List[float]:
+    if len(params) != len(slots):
+        raise QueryError(
+            f"template {name!r} takes {len(slots)} parameters, got {len(params)}"
+        )
+    checked: List[float] = []
+    for position, value in enumerate(params, start=1):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise QueryError(
+                f"template {name!r}: parameter ?{position} must be numeric, got {value!r}"
+            )
+        value = float(value)
+        if not math.isfinite(value):
+            raise QueryError(
+                f"template {name!r}: parameter ?{position} must be finite, got {value!r}"
+            )
+        checked.append(value)
+    return checked
+
+
+def _substitute_filters(
+    filters: Tuple[Predicate, ...],
+    assignments: dict,
+) -> Tuple[Predicate, ...]:
+    """Filter tuple with per-index ``{index: [value, value2]}`` applied."""
+    rebuilt = []
+    for index, pred in enumerate(filters):
+        pair = assignments.get(index)
+        if pair is None:
+            rebuilt.append(pred)
+        else:
+            value = pair[0] if pair[0] is not None else pred.value
+            value2 = pair[1] if pair[1] is not None else pred.value2
+            rebuilt.append(replace(pred, value=value, value2=value2))
+    return tuple(rebuilt)
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A canonical statement shape: structure kept, literals parameterized.
+
+    ``skeleton`` is the statement with every literal replaced by a
+    placeholder and the name rewritten to the fingerprint-stable
+    ``tpl_<fingerprint>``, so equal templates compare equal as dataclasses.
+    ``sql`` is the marker rendering (the fingerprint input); ``slots``
+    locate each marker in the AST, in marker order.
+    """
+
+    fingerprint: str
+    skeleton: Statement
+    slots: Tuple[ParameterSlot, ...]
+    sql: str
+
+    @property
+    def name(self) -> str:
+        """The fingerprint-stable template name (``tpl_<fingerprint>``)."""
+        return self.skeleton.name
+
+    @property
+    def parameter_count(self) -> int:
+        """How many literals the template extracted."""
+        return len(self.slots)
+
+    @property
+    def is_dml(self) -> bool:
+        """Whether the template is a write statement."""
+        return self.skeleton.is_dml
+
+    def instantiate(
+        self, params: Sequence[float], name: Optional[str] = None
+    ) -> Statement:
+        """A concrete statement: the template with ``params`` substituted.
+
+        Inverts :func:`templatize` exactly:
+        ``templatize(t.instantiate(p)) == (t, tuple(map(float, p)))``.
+        ``name`` defaults to the template name (templatize ignores names,
+        so instance naming is free).
+        """
+        values = _checked_params(self.slots, params, self.name)
+        filter_assignments: dict = {}
+        insert_rows: dict = {}
+        set_assignments: dict = {}
+        for slot, value in zip(self.slots, values):
+            if slot.kind == "filter_value":
+                filter_assignments.setdefault(slot.path[0], [None, None])[0] = value
+            elif slot.kind == "filter_high":
+                filter_assignments.setdefault(slot.path[0], [None, None])[1] = value
+            elif slot.kind == "insert_value":
+                insert_rows[slot.path] = value
+            elif slot.kind == "set_value":
+                set_assignments[slot.path[0]] = value
+            else:  # pragma: no cover - slots are built by _analyze only
+                raise QueryError(f"unknown parameter slot kind {slot.kind!r}")
+
+        skeleton = self.skeleton
+        if isinstance(skeleton, Query):
+            statement: Statement = replace(
+                skeleton,
+                filters=_substitute_filters(skeleton.filters, filter_assignments),
+            )
+        else:
+            new_values = tuple(
+                tuple(
+                    insert_rows.get((row_index, column_index), cell)
+                    for column_index, cell in enumerate(row)
+                )
+                for row_index, row in enumerate(skeleton.values)
+            )
+            new_set = tuple(
+                set_assignments.get(index, cell)
+                for index, cell in enumerate(skeleton.set_values)
+            )
+            statement = replace(
+                skeleton,
+                values=new_values,
+                set_values=new_set,
+                filters=_substitute_filters(skeleton.filters, filter_assignments),
+            )
+        if name is not None and name != statement.name:
+            statement = statement.renamed(name)
+        return statement
+
+
+def templatize(statement: Statement) -> Tuple[QueryTemplate, Tuple[float, ...]]:
+    """Extract a statement's template and its parameter vector.
+
+    The template is canonical: names and literals do not influence it, so
+    any two instances of the same SQL shape return equal templates (same
+    fingerprint, same skeleton, same slots).  Raises
+    :class:`~repro.util.errors.QueryError` for anything that is not a
+    parsed statement.
+    """
+    sql, slots, params = _analyze(statement)
+    fingerprint = template_fingerprint(statement)
+    template_name = f"{TEMPLATE_NAME_PREFIX}{fingerprint}"
+    filter_assignments: dict = {}
+    for slot in slots:
+        if slot.kind == "filter_value":
+            filter_assignments.setdefault(slot.path[0], [None, None])[0] = _PLACEHOLDER
+        elif slot.kind == "filter_high":
+            filter_assignments.setdefault(slot.path[0], [None, None])[1] = _PLACEHOLDER
+    if isinstance(statement, Query):
+        skeleton: Statement = replace(
+            statement.renamed(template_name),
+            filters=_substitute_filters(statement.filters, filter_assignments),
+        )
+    else:
+        skeleton = replace(
+            statement.renamed(template_name),
+            values=tuple(
+                tuple(_PLACEHOLDER for _ in row) for row in statement.values
+            ),
+            set_values=tuple(_PLACEHOLDER for _ in statement.set_values),
+            filters=_substitute_filters(statement.filters, filter_assignments),
+        )
+    template = QueryTemplate(
+        fingerprint=fingerprint, skeleton=skeleton, slots=slots, sql=sql
+    )
+    return template, params
+
+
+def templatize_sql(
+    sql: str, name: str = "statement"
+) -> Tuple[QueryTemplate, Tuple[float, ...]]:
+    """Parse ``sql`` and templatize it in one step.
+
+    The fuzz-facing entry point: arbitrary or mutilated text only ever
+    raises :class:`~repro.util.errors.QueryError` (from the parser), never
+    anything else.
+    """
+    if not isinstance(sql, str):
+        raise QueryError(f"templatize_sql expects SQL text, got {type(sql).__name__}")
+    return templatize(parse_statement(sql, name=name))
+
+
+#: Convenience union re-export for annotation-light call sites.
+TemplateResult = Tuple[QueryTemplate, Tuple[float, ...]]
+
+__all__ = [
+    "NUMERIC",
+    "ParameterSlot",
+    "QueryTemplate",
+    "TEMPLATE_NAME_PREFIX",
+    "TemplateResult",
+    "parameterized_sql",
+    "templatize",
+    "templatize_sql",
+]

@@ -22,7 +22,7 @@ from typing import Iterable, Optional, Sequence, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.catalog.catalog import Catalog
     from repro.catalog.index import Index
-    from repro.query.ast import Query
+    from repro.query.ast import Query, Statement
 
 #: Length of the hex digests returned by the fingerprint functions.
 DIGEST_LENGTH = 16
@@ -48,6 +48,22 @@ def query_fingerprint(query: "Query") -> str:
     a workload containing the same statement twice builds its cache once.
     """
     return _digest([query.to_sql()])
+
+
+def template_fingerprint(statement: "Statement") -> str:
+    """Fingerprint of a statement's *template* (shape, not literals).
+
+    Digests the parameterized SQL rendering -- every literal replaced by a
+    typed marker (:func:`repro.query.templates.parameterized_sql`) -- so
+    two executions of the same statement shape with different constants
+    share a fingerprint, while any structural difference (columns, tables,
+    operators, clause order) separates them.  A ``template`` domain tag
+    keeps the digest disjoint from :func:`query_fingerprint` even for
+    literal-free statements.
+    """
+    from repro.query.templates import parameterized_sql
+
+    return _digest(["template", parameterized_sql(statement)])
 
 
 def configuration_signature(indexes: Sequence["Index"]) -> Tuple[IndexSignature, ...]:

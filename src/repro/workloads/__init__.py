@@ -1,6 +1,11 @@
 """Workloads: the paper's synthetic star schema and a TPC-H-like schema."""
 
 from repro.util.errors import ReproError
+from repro.workloads.compress import (
+    CompressedWorkload,
+    TemplateCluster,
+    compress_workload,
+)
 from repro.workloads.star_schema import MixedWorkload, StarSchemaWorkload
 from repro.workloads.tpch_like import (
     TpchLikeWorkload,
@@ -27,12 +32,15 @@ def builtin_catalog_factory(name: str, seed: int = 7):
 
 
 __all__ = [
+    "CompressedWorkload",
     "MixedWorkload",
     "StarSchemaWorkload",
+    "TemplateCluster",
     "TpchLikeWorkload",
     "TracePhase",
     "build_tpch_like_catalog",
     "builtin_catalog_factory",
+    "compress_workload",
     "emit_trace",
     "tpch_q5_like_query",
     "zipf_weights",

@@ -22,6 +22,7 @@ correctly tuned daemon re-tunes exactly once.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -41,11 +42,22 @@ class TracePhase:
     exponent (0 = uniform).  Template popularity *ranks* are a seeded
     shuffle of the pool, so two phases over the same pool with different
     trace seeds stress the drift metric without changing the template set.
+
+    ``parameter_variants`` turns on parameter-skew replay: each pool
+    statement is templatized (:mod:`repro.query.templates`) and every draw
+    emits one of that many literal variants, themselves picked under a
+    Zipfian law with exponent ``parameter_skew`` (0 = uniform; variant 0 is
+    the original literals).  Template popularity and parameter popularity
+    compose independently -- the two-level skew real query logs show, and
+    exactly the churn the template-keyed sliding window must absorb without
+    growing its distinct-key count.
     """
 
     name: str
     statements: Tuple[Statement, ...]
     skew: float = DEFAULT_SKEW
+    parameter_variants: int = 1
+    parameter_skew: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.statements:
@@ -53,6 +65,16 @@ class TracePhase:
         if not self.skew >= 0.0:
             raise ReproError(
                 f"trace phase {self.name!r}: skew must be >= 0, got {self.skew!r}"
+            )
+        if self.parameter_variants < 1:
+            raise ReproError(
+                f"trace phase {self.name!r}: parameter_variants must be >= 1, "
+                f"got {self.parameter_variants!r}"
+            )
+        if not self.parameter_skew >= 0.0:
+            raise ReproError(
+                f"trace phase {self.name!r}: parameter_skew must be >= 0, "
+                f"got {self.parameter_skew!r}"
             )
 
 
@@ -63,6 +85,42 @@ def zipf_weights(count: int, skew: float) -> List[float]:
     raw = [1.0 / (rank ** skew) for rank in range(1, count + 1)]
     total = sum(raw)
     return [weight / total for weight in raw]
+
+
+def _cumulative(weights: List[float]) -> List[float]:
+    bounds: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        bounds.append(running)
+    return bounds
+
+
+def _pick(bounds: List[float], point: float) -> int:
+    for index, bound in enumerate(bounds):
+        if point < bound:
+            return index
+    return len(bounds) - 1
+
+
+def _variant_sql(statement: Statement, variant: int) -> str:
+    """The statement's SQL with literals shifted for ``variant``.
+
+    Variant 0 is the original literals; variant ``k`` adds ``k`` to every
+    extracted parameter (a shift keeps BETWEEN ranges and value ordering
+    intact).  A shift that would leave float range falls back to the
+    original literal, so instantiation never rejects a variant.
+    """
+    if variant == 0:
+        return statement.to_sql()
+    from repro.query.templates import templatize
+
+    template, params = templatize(statement)
+    shifted = []
+    for value in params:
+        candidate = value + float(variant)
+        shifted.append(candidate if math.isfinite(candidate) else value)
+    return template.instantiate(shifted, name=statement.name).to_sql()
 
 
 def emit_trace(
@@ -86,25 +144,30 @@ def emit_trace(
     for position, phase in enumerate(phases):
         phase_count = base + (1 if position < remainder else 0)
         ranked = rng.derive(f"rank:{position}:{phase.name}").shuffle(phase.statements)
-        weights = zipf_weights(len(ranked), phase.skew)
-        cumulative: List[float] = []
-        running = 0.0
-        for weight in weights:
-            running += weight
-            cumulative.append(running)
+        cumulative = _cumulative(zipf_weights(len(ranked), phase.skew))
+        variant_bounds = (
+            _cumulative(zipf_weights(phase.parameter_variants, phase.parameter_skew))
+            if phase.parameter_variants > 1
+            else None
+        )
         draw = rng.derive(f"draw:{position}:{phase.name}")
+        params = rng.derive(f"params:{position}:{phase.name}")
+        #: variant SQL is deterministic per (statement, variant); memoize so a
+        #: 10k-line trace templatizes each pool statement once, not per draw.
+        variant_cache: Dict[Tuple[str, int], str] = {}
         for _ in range(phase_count):
-            point = draw.random()
-            chosen = ranked[-1]
-            for statement, bound in zip(ranked, cumulative):
-                if point < bound:
-                    chosen = statement
-                    break
-            lines.append(json.dumps({
-                "phase": phase.name,
-                "template": chosen.name,
-                "sql": chosen.to_sql(),
-            }))
+            chosen = ranked[_pick(cumulative, draw.random())]
+            line = {"phase": phase.name, "template": chosen.name}
+            if variant_bounds is None:
+                line["sql"] = chosen.to_sql()
+            else:
+                variant = _pick(variant_bounds, params.random())
+                key = (chosen.name, variant)
+                if key not in variant_cache:
+                    variant_cache[key] = _variant_sql(chosen, variant)
+                line["sql"] = variant_cache[key]
+                line["variant"] = variant
+            lines.append(json.dumps(line))
     return lines
 
 

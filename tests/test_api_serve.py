@@ -135,6 +135,60 @@ class TestErrors:
         # The frontend still answers afterwards.
         assert frontend.handle({"id": 2, "op": "ping"})["ok"] is True
 
+    def test_add_queries_compress_folds_duplicates(self, frontend):
+        """``"compress": true`` folds the batch by template before adding.
+
+        Three literal variants of one shape enter the session as a single
+        fingerprint-named representative whose weight sums the entries'
+        (one carries an explicit weight of 2.0), and the response surfaces
+        the compression stats clients just paid for.
+        """
+        variants = [
+            {"sql": "SELECT orders.o_totalprice FROM orders "
+                    f"WHERE orders.o_totalprice < {bound}",
+             "name": f"v{bound}"}
+            for bound in (100, 200, 300)
+        ]
+        variants[0]["weight"] = 2.0
+        response = frontend.handle(
+            {"op": "add_queries", "params": {"queries": variants, "compress": True}}
+        )
+        assert response["ok"] is True
+        result = response["result"]
+        assert len(result["added"]) == 1
+        assert result["added"][0].startswith("tpl_")
+        assert result["workload_size"] == 3  # 2 builtin + 1 representative
+        assert result["compression"] == {
+            "statements": 3, "templates": 1, "ratio": 3.0,
+            "total_weight": 4.0, "lossless": False,
+        }
+
+    def test_recommend_compress_reports_compression(self, frontend):
+        """A compressed recommend returns its fold stats in the response."""
+        response = frontend.handle(
+            {"id": 9, "op": "recommend", "params": {"compress": True}}
+        )
+        assert response["ok"] is True
+        assert response["result"]["compression"] == {
+            "statements": 2, "templates": 2, "ratio": 1.0,
+            "total_weight": 2.0, "lossless": True,
+        }
+        # An uncompressed recommend keeps reporting null, not stale stats.
+        plain = frontend.handle({"id": 10, "op": "recommend"})
+        assert plain["result"]["compression"] is None
+
+    def test_ill_typed_compress_is_an_error_response(self, frontend):
+        for op, params in (
+            ("add_queries", {"queries": [{"sql": "SELECT orders.o_totalprice "
+                                                 "FROM orders"}],
+                             "compress": "yes"}),
+            ("recommend", {"compress": 1}),
+        ):
+            response = frontend.handle({"id": 1, "op": op, "params": params})
+            assert response["ok"] is False
+            assert "'compress' must be a boolean" in response["error"]["message"]
+        assert frontend.handle({"id": 2, "op": "ping"})["ok"] is True
+
     def test_auto_names_skip_gaps_left_by_removals(self, frontend):
         sql = "SELECT orders.o_totalprice FROM orders ORDER BY orders.o_totalprice"
         first = frontend.handle({"op": "add_queries", "params": {"queries": [

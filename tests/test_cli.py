@@ -97,6 +97,36 @@ class TestRecommend:
         assert "indexes selected" in out
         assert "Per-query estimated cost" in out
 
+    def test_recommend_compress_folds_literal_variants(self, tmp_path, capsys):
+        """--compress folds a trace file's literal variants into one template.
+
+        The summary reports the fold and the per-query table shows the
+        fingerprint-named representative, not the raw statements.
+        """
+        sql = "SELECT fact.fact_m1 FROM fact WHERE fact.fact_m1 > {}"
+        trace = tmp_path / "trace.sql"
+        trace.write_text(f"{sql.format('10.0')};\n{sql.format('20.0')}\n")
+        code = main([
+            "recommend", "--catalog", "star", "--compress",
+            "--sql-file", str(trace),
+            "--budget-gb", "1", "--max-candidates", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload compression  : 2 statements -> 1 templates" in out
+        assert "(2.0x, approximate)" in out
+        assert "tpl_" in out
+
+    def test_recommend_compress_is_a_no_op_on_unique_templates(self, capsys):
+        code = main([
+            "recommend", "--catalog", "star", "--query-number", "2",
+            "--compress", "--budget-gb", "1", "--max-candidates", "20",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload compression  : 1 statements -> 1 templates" in out
+        assert "(1.0x, exact)" in out
+
 
 class TestCache:
     def test_cache_stats_pinum(self, capsys):

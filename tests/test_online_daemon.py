@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from conftest import build_small_catalog
@@ -11,6 +13,7 @@ from repro.online import MemoryStatementSource, OnlineTuner, OnlineTunerConfig
 from repro.query.parser import parse_statement
 from repro.util.errors import AdvisorError
 from repro.workloads.tpch_like import TpchLikeWorkload, build_tpch_like_catalog
+from repro.workloads.trace import TracePhase, emit_trace
 
 A = "SELECT customers.c_age FROM customers WHERE customers.c_age > 30"
 B = "SELECT products.p_price FROM products WHERE products.p_price < 50"
@@ -263,3 +266,61 @@ class TestTwoPhaseTrace:
         assert tuner.detector.fires == 0
         assert tuner.retunes_triggered == 0
         assert session.statistics.recommend_calls == 1
+
+
+class TestParameterChurnTrace:
+    """Parameter-skew replay: literal churn must be invisible to the daemon.
+
+    The traces below re-execute a fixed template pool with many literal
+    variants per template (``TracePhase(parameter_variants=...)``).  Keying
+    the sliding window by template fingerprint means that churn neither
+    grows the distinct-key count nor moves the drift distribution -- only a
+    genuine change of template pool may trigger a re-tune.
+    """
+
+    def _phase(self, name, sqls, variants=16):
+        statements = tuple(
+            parse_statement(sql, name=f"{name}{i}") for i, sql in enumerate(sqls)
+        )
+        return TracePhase(
+            name=name,
+            statements=statements,
+            skew=1.5,
+            parameter_variants=variants,
+            parameter_skew=1.1,
+        )
+
+    def test_stationary_churn_trace_never_retunes_and_keys_stay_bounded(self):
+        lines = emit_trace([self._phase("hot", [A, B])], 240, seed=11)
+        # The churn is real: far more distinct SQL strings than templates.
+        assert len({json.loads(line)["sql"] for line in lines}) > 10
+        tuner, source = make_tuner(window=40, high=0.3, low=0.1)
+        for start in range(0, len(lines), 40):
+            source.feed(lines[start:start + 40])
+            tuner.poll()
+        assert tuner.detector.fires == 0
+        assert tuner.retunes_triggered == 0
+        assert tuner.session.statistics.recommend_calls == 1  # bootstrap only
+        # Bounded distinct keys: the pool has 2 templates, so does the window.
+        assert tuner.window.template_count == 2
+        assert len(tuner.session.queries) == 2
+
+    def test_two_phase_churn_trace_still_retunes_exactly_once(self):
+        lines = emit_trace(
+            [self._phase("read", [A, B]), self._phase("write", [C])],
+            240,
+            seed=11,
+        )
+        tuner, source = make_tuner(window=40, high=0.3, low=0.1)
+        decisions = []
+        for start in range(0, len(lines), 40):
+            source.feed(lines[start:start + 40])
+            decisions.extend(tuner.poll())
+        kinds = [d.kind for d in decisions]
+        assert kinds.count("bootstrap") == 1
+        assert kinds.count("drift") == 1  # the pool change, not the churn
+        assert tuner.detector.fires == 1
+        for decision in decisions:
+            assert decision.caches_built == decision.new_templates
+        # Across both phases only 3 templates ever existed.
+        assert len(tuner.session.queries) <= 3

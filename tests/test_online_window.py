@@ -7,7 +7,7 @@ import pytest
 from repro.online import SlidingWindow
 from repro.query.parser import parse_statement
 from repro.util.errors import AdvisorError
-from repro.util.fingerprint import query_fingerprint
+from repro.util.fingerprint import template_fingerprint
 
 
 def _stmt(sql, name="statement"):
@@ -24,17 +24,17 @@ class TestFolding:
         window = SlidingWindow(10)
         names = [window.append(_stmt(SEL_A, name=f"q{i}")) for i in range(3)]
         assert len(set(names)) == 1
-        assert names[0] == f"t_{query_fingerprint(_stmt(SEL_A))}"
+        assert names[0] == f"t_{template_fingerprint(_stmt(SEL_A))}"
         assert window.statement_count == 3
         assert window.template_count == 1
-        assert window.template_counts() == {query_fingerprint(_stmt(SEL_A)): 3}
+        assert window.template_counts() == {template_fingerprint(_stmt(SEL_A)): 3}
 
     def test_distribution_is_normalized(self):
         window = SlidingWindow(10)
         window.extend([_stmt(SEL_A), _stmt(SEL_A), _stmt(SEL_B), _stmt(INS)])
         distribution = window.distribution()
         assert sum(distribution.values()) == pytest.approx(1.0)
-        assert distribution[query_fingerprint(_stmt(SEL_A))] == pytest.approx(0.5)
+        assert distribution[template_fingerprint(_stmt(SEL_A))] == pytest.approx(0.5)
 
     def test_empty_window_distribution_is_empty(self):
         assert SlidingWindow(5).distribution() == {}
@@ -55,8 +55,8 @@ class TestEviction:
         assert window.statement_count == 2
         assert window.total_appended == 3
         fingerprints = set(window.template_counts())
-        assert query_fingerprint(_stmt(SEL_A)) not in fingerprints
-        assert query_fingerprint(_stmt(INS)) in fingerprints
+        assert template_fingerprint(_stmt(SEL_A)) not in fingerprints
+        assert template_fingerprint(_stmt(INS)) in fingerprints
 
     def test_age_bound_evicts_stale_entries(self):
         now = [0.0]
@@ -67,7 +67,7 @@ class TestEviction:
         now[0] = 6.0
         window.append(_stmt(INS))  # SEL_A is now 6s old -> evicted
         assert window.statement_count == 2
-        assert query_fingerprint(_stmt(SEL_A)) not in window.template_counts()
+        assert template_fingerprint(_stmt(SEL_A)) not in window.template_counts()
 
     def test_template_disappears_when_its_last_entry_leaves(self):
         window = SlidingWindow(1)
@@ -76,6 +76,55 @@ class TestEviction:
         assert window.template_count == 1
         statements, weights = window.workload()
         assert [s.to_sql() for s in statements] == [_stmt(SEL_B).to_sql()]
+
+
+class TestParameterChurn:
+    """Literal-only variation must not inflate the window's template set."""
+
+    def _variants(self, count):
+        return [
+            _stmt(
+                "SELECT customers.c_age FROM customers "
+                f"WHERE customers.c_age > {30 + i}.0",
+                name=f"q{i}",
+            )
+            for i in range(count)
+        ]
+
+    def test_parameter_churn_folds_to_one_template(self):
+        window = SlidingWindow(100)
+        names = window.extend(self._variants(50))
+        assert window.template_count == 1
+        assert len(set(names)) == 1
+        fingerprint = template_fingerprint(self._variants(1)[0])
+        assert names[0] == f"t_{fingerprint}"
+        assert window.template_counts() == {fingerprint: 50}
+
+    def test_distribution_pinned_under_parameter_churn(self):
+        """Regression: churn on one template must not dilute drift weights.
+
+        20 literal variants of SEL_A plus 20 verbatim SEL_B executions is a
+        50/50 template split; keying by raw query fingerprint would report
+        SEL_A as 20 templates of weight 1/40 each and any drift metric
+        against a stationary reference would see phantom drift.
+        """
+        window = SlidingWindow(100)
+        window.extend(self._variants(20))
+        window.extend([_stmt(SEL_B, name=f"b{i}") for i in range(20)])
+        distribution = window.distribution()
+        assert distribution == {
+            template_fingerprint(self._variants(1)[0]): pytest.approx(0.5),
+            template_fingerprint(_stmt(SEL_B)): pytest.approx(0.5),
+        }
+
+    def test_first_seen_instance_represents_the_template(self):
+        window = SlidingWindow(100)
+        variants = self._variants(3)
+        window.extend(variants)
+        statements, weights = window.workload()
+        assert len(statements) == 1
+        assert statements[0].to_sql() == variants[0].renamed(statements[0].name).to_sql()
+        assert weights == {statements[0].name: 3.0}
 
 
 class TestValidation:

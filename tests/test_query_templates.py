@@ -1,0 +1,178 @@
+"""Property-based tests for the templatizer (repro.query.templates).
+
+Three families:
+
+* **round trip** -- for randomized valid SELECT and DML ASTs,
+  ``templatize(t.instantiate(p)) == (t, p)`` holds exactly, and
+  instantiating with the original parameters reproduces the original
+  statement;
+* **fingerprint laws** -- two instances of the same SQL shape always
+  collide on :func:`template_fingerprint` (names and literals are
+  invisible), structurally distinct statements never do, and the template
+  fingerprint domain is disjoint from the raw query-fingerprint domain;
+* **robustness** -- arbitrary text (including mutilated valid SQL) fed to
+  :func:`templatize_sql`, and non-statement objects fed to
+  :func:`templatize`, only ever raise the repo's typed ``QueryError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from test_property_parser import dml_statements, select_queries
+from repro.query.templates import (
+    NUMERIC,
+    TEMPLATE_NAME_PREFIX,
+    parameterized_sql,
+    templatize,
+    templatize_sql,
+)
+from repro.util.errors import QueryError
+from repro.util.fingerprint import query_fingerprint, template_fingerprint
+
+_settings = settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+_statements = st.one_of(select_queries(), dml_statements())
+
+
+class TestRoundTripProperties:
+    @_settings
+    @given(statement=_statements)
+    def test_templatize_inverts_instantiate(self, statement):
+        template, params = templatize(statement)
+        rebuilt = template.instantiate(params, name=statement.name)
+        assert rebuilt == statement
+        again, params_again = templatize(rebuilt)
+        assert again == template
+        assert params_again == params
+
+    @_settings
+    @given(statement=_statements)
+    def test_instantiate_defaults_to_the_template_name(self, statement):
+        template, params = templatize(statement)
+        assert template.name == f"{TEMPLATE_NAME_PREFIX}{template.fingerprint}"
+        assert template.instantiate(params).name == template.name
+
+    @_settings
+    @given(statement=_statements)
+    def test_markers_appear_in_order_and_match_the_parameter_vector(self, statement):
+        template, params = templatize(statement)
+        assert template.parameter_count == len(params)
+        assert all(isinstance(value, float) for value in params)
+        positions = [
+            template.sql.index(f"?{n}:{NUMERIC}")
+            for n in range(1, len(params) + 1)
+        ]
+        assert positions == sorted(positions)
+        assert template.is_dml == statement.is_dml
+
+    @_settings
+    @given(statement=_statements)
+    def test_shifted_parameters_stay_in_the_same_template(self, statement):
+        template, params = templatize(statement)
+        shifted = template.instantiate([value + 1.0 for value in params])
+        again, shifted_params = templatize(shifted)
+        assert again == template
+        assert shifted_params == tuple(value + 1.0 for value in params)
+
+
+class TestFingerprintLaws:
+    @_settings
+    @given(statement=_statements)
+    def test_literal_variants_always_collide(self, statement):
+        template, params = templatize(statement)
+        variant = template.instantiate(
+            [value + 1.0 for value in params], name="variant"
+        )
+        assert template_fingerprint(variant) == template_fingerprint(statement)
+        assert template_fingerprint(variant) == template.fingerprint
+
+    @_settings
+    @given(statement=_statements)
+    def test_names_never_influence_the_template(self, statement):
+        renamed = statement.renamed("a_completely_different_name")
+        assert template_fingerprint(renamed) == template_fingerprint(statement)
+        assert templatize(renamed)[0] == templatize(statement)[0]
+
+    @_settings
+    @given(first=_statements, second=_statements)
+    def test_fingerprints_collide_iff_the_parameterized_sql_matches(self, first, second):
+        same_shape = parameterized_sql(first) == parameterized_sql(second)
+        same_fingerprint = template_fingerprint(first) == template_fingerprint(second)
+        assert same_shape == same_fingerprint
+
+    @_settings
+    @given(statement=_statements)
+    def test_template_domain_is_disjoint_from_query_fingerprints(self, statement):
+        assert template_fingerprint(statement) != query_fingerprint(statement)
+
+
+class TestRobustness:
+    @_settings
+    @given(text=st.text(max_size=200))
+    def test_arbitrary_text_never_raises_internal_errors(self, text):
+        try:
+            templatize_sql(text)
+        except QueryError:
+            pass  # the one sanctioned failure mode
+
+    @_settings
+    @given(
+        source=_statements,
+        start=st.integers(min_value=0, max_value=199),
+        length=st.integers(min_value=1, max_value=40),
+    )
+    def test_mutilated_valid_sql_never_raises_internal_errors(self, source, start, length):
+        sql = source.to_sql()
+        try:
+            templatize_sql(sql[:start] + sql[start + length:])
+        except QueryError:
+            pass
+
+    @pytest.mark.parametrize("bogus", [None, 42, 3.5, object(), ["SELECT"], {"sql": "x"}])
+    def test_non_statements_raise_the_typed_error(self, bogus):
+        with pytest.raises(QueryError, match="parsed Query or DmlStatement"):
+            templatize(bogus)
+
+    def test_templatize_sql_rejects_non_text(self):
+        with pytest.raises(QueryError, match="expects SQL text"):
+            templatize_sql(b"SELECT alpha.c1 FROM alpha")
+
+
+class TestParameterValidation:
+    SQL = (
+        "SELECT alpha.c1 FROM alpha "
+        "WHERE alpha.c1 = 3 AND alpha.c2 BETWEEN 1 AND 9"
+    )
+
+    def test_the_docstring_example_renders_exactly(self):
+        template, params = templatize_sql(self.SQL)
+        assert params == (3.0, 1.0, 9.0)
+        assert template.sql == (
+            "SELECT alpha.c1\n"
+            "FROM alpha\n"
+            "WHERE alpha.c1 = ?1:num AND alpha.c2 BETWEEN ?2:num AND ?3:num"
+        )
+        assert [slot.kind for slot in template.slots] == [
+            "filter_value", "filter_value", "filter_high"
+        ]
+        assert all(slot.type_tag == NUMERIC for slot in template.slots)
+
+    @pytest.mark.parametrize(
+        "params, message",
+        [
+            ((1.0, 2.0), "takes 3 parameters"),
+            ((1.0, 2.0, 3.0, 4.0), "takes 3 parameters"),
+            ((1.0, float("nan"), 3.0), "must be finite"),
+            ((1.0, float("inf"), 3.0), "must be finite"),
+            ((1.0, True, 3.0), "must be numeric"),
+            ((1.0, "2", 3.0), "must be numeric"),
+            ((1.0, None, 3.0), "must be numeric"),
+        ],
+    )
+    def test_bad_parameter_vectors_raise_the_typed_error(self, params, message):
+        template, _ = templatize_sql(self.SQL)
+        with pytest.raises(QueryError, match=message):
+            template.instantiate(params)
