@@ -93,6 +93,18 @@ def compression_speedup(report_path: Path) -> float:
     return 0.0
 
 
+def observability_overhead(report_path: Path) -> dict:
+    """The ``observability_overhead`` row from
+    ``bench_observability_overhead.py``; empty when the report has none.
+    """
+    report = json.loads(report_path.read_text())
+    for bench in report.get("benchmarks", []):
+        info = bench.get("extra_info", {}).get("observability_overhead")
+        if info and "traced_over_untraced" in info:
+            return dict(info)
+    return {}
+
+
 def current_ratios(rows: list) -> dict:
     ratios = {}
     for row in rows:
@@ -131,7 +143,13 @@ def update(baselines_path: Path, ratios: dict, online: dict, compression: float)
     print(f"updated {baselines_path}")
 
 
-def check(baselines_path: Path, ratios: dict, online: dict, compression: float) -> int:
+def check(
+    baselines_path: Path,
+    ratios: dict,
+    online: dict,
+    compression: float,
+    overhead: dict,
+) -> int:
     if not baselines_path.exists():
         raise SystemExit(
             f"{baselines_path} is missing -- regenerate it with --update "
@@ -218,6 +236,26 @@ def check(baselines_path: Path, ratios: dict, online: dict, compression: float) 
                     f"(baseline {baseline} / {tolerance})"
                 )
 
+    if not overhead:
+        print("  (no observability_overhead row in this report -- "
+              "overhead gate skipped)")
+    else:
+        # Absolute gate, not baseline-relative: the benchmark carries its
+        # own applicable limit (1.02 full / 1.05 CI quick mode) and a
+        # ratio above it fails regardless of history.
+        ratio = float(overhead["traced_over_untraced"])
+        limit = float(overhead.get("limit", 1.02))
+        verdict = "ok" if ratio <= limit else "REGRESSED"
+        print(
+            f"  observability traced_over_untraced {ratio:.4f} "
+            f"(absolute limit {limit:.2f}) {verdict}"
+        )
+        if ratio > limit:
+            failures.append(
+                f"  observability_overhead: traced_over_untraced "
+                f"{ratio:.4f} exceeds the absolute limit {limit:.2f}"
+            )
+
     if failures:
         print("benchmark trend regressed >25% vs committed baselines:",
               file=sys.stderr)
@@ -243,10 +281,11 @@ def main(argv=None) -> int:
     ratios = current_ratios(selection_rows(options.report))
     online = online_ratios(options.report)
     compression = compression_speedup(options.report)
+    overhead = observability_overhead(options.report)
     if options.update:
         update(options.baselines, ratios, online, compression)
         return 0
-    return check(options.baselines, ratios, online, compression)
+    return check(options.baselines, ratios, online, compression, overhead)
 
 
 if __name__ == "__main__":

@@ -13,10 +13,16 @@ Environment knobs (all optional):
   heavier benchmarks use (default: all ten).
 * ``REPRO_BENCH_JOBS``     -- process-pool width for the parallel
   construction benchmark (default 4).
+* ``REPRO_BENCH_METRICS``  -- path for a JSON snapshot of the process
+  metrics registry written when the benchmark session finishes (default
+  ``BENCH_metrics.json``; empty string disables).  CI uploads it next to
+  ``BENCH_ci.json``, so every run ships the counters and latency
+  histograms the benchmarks moved.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -40,6 +46,23 @@ def bench_query_count() -> int:
 def bench_job_count() -> int:
     """Process-pool width the parallel construction benchmark fans out to."""
     return int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the process metrics registry the benchmark run filled in.
+
+    Registering the full instrument catalog first means the snapshot shows
+    every family the stack *can* report, not just the ones this run moved.
+    """
+    path = os.environ.get("REPRO_BENCH_METRICS", "BENCH_metrics.json")
+    if not path:
+        return
+    import repro.obs.instruments  # noqa: F401
+    from repro.obs import snapshot
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -13,14 +13,16 @@ provides the CELF-style accelerated search that produces the same picks.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
 from repro.advisor.benefit import IncrementalWorkloadEvaluator, WorkloadCostModel
+from repro.obs.instruments import ILP_NODES, SELECTION_EVALUATIONS, SELECTION_SECONDS
+from repro.obs.trace import get_tracer
 from repro.util.errors import AdvisorError
+from repro.util.timing import timed
 
 
 @dataclass
@@ -67,6 +69,23 @@ class SelectionStatistics:
     memo_hits: int = 0
     memo_misses: int = 0
 
+    def publish(self, selector: str) -> None:
+        """Feed this run's totals into the metrics registry.
+
+        Every selector calls this once at the end of ``select``, so the
+        per-run dataclass and the process-wide families report the same
+        numbers -- the registry is just their running sum.
+        """
+        SELECTION_SECONDS.labels(selector=selector).observe(self.seconds)
+        SELECTION_EVALUATIONS.labels(selector=selector, kind="candidate").inc(
+            self.candidate_evaluations
+        )
+        SELECTION_EVALUATIONS.labels(selector=selector, kind="query").inc(
+            self.query_evaluations
+        )
+        if self.nodes_explored:
+            ILP_NODES.inc(self.nodes_explored)
+
 
 def memo_counters(cost_model) -> tuple:
     """The model's aggregate ``(hits, misses)`` memo counters (0s if none)."""
@@ -106,7 +125,13 @@ class GreedySelector:
 
     def select(self, candidates: Sequence[Index]) -> List[SelectionStep]:
         """Run the greedy loop and return the chosen indexes in pick order."""
-        started = time.perf_counter()
+        with get_tracer().span(
+            "select.exhaustive", candidates=len(candidates)
+        ), timed() as timer:
+            steps = self._select(candidates, timer)
+        return steps
+
+    def _select(self, candidates: Sequence[Index], timer: timed) -> List[SelectionStep]:
         stats = SelectionStatistics()
         self.statistics = stats
         evaluations_before = self._cost_model.query_evaluations
@@ -181,11 +206,12 @@ class GreedySelector:
             )
             current_cost = best_cost
 
-        stats.seconds = time.perf_counter() - started
+        stats.seconds = timer.elapsed()
         stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
         memo_after = memo_counters(self._cost_model)
         stats.memo_hits = memo_after[0] - memo_before[0]
         stats.memo_misses = memo_after[1] - memo_before[1]
+        stats.publish("exhaustive")
         return steps
 
 

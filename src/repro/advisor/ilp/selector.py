@@ -16,7 +16,6 @@ simply returns the greedy picks with an honest bound-derived gap.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence
 
 from repro.advisor.benefit import IncrementalWorkloadEvaluator, WorkloadCostModel
@@ -26,6 +25,8 @@ from repro.advisor.ilp.solver import BranchAndBoundSolver, IlpSolverOptions
 from repro.advisor.lazy_greedy import LazyGreedySelector
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.obs.trace import get_tracer
+from repro.util.timing import timed
 
 #: Defaults mirrored by :class:`repro.advisor.advisor.AdvisorOptions`.
 DEFAULT_GAP = 0.0
@@ -65,47 +66,60 @@ class IlpSelector:
 
     def select(self, candidates: Sequence[Index]) -> List[SelectionStep]:
         """Solve the selection BIP; returns the picks as selection steps."""
-        started = time.perf_counter()
-        stats = SelectionStatistics()
-        self.statistics = stats
-        evaluations_before = self._cost_model.query_evaluations
+        tracer = get_tracer()
+        with tracer.span(
+            "select.ilp", candidates=len(candidates)
+        ) as span, timed() as timer:
+            stats = SelectionStatistics()
+            self.statistics = stats
+            evaluations_before = self._cost_model.query_evaluations
 
-        # Warm start: the lazy-greedy picks seed the incumbent, making the
-        # solver anytime-safe (never worse than greedy, whatever the limit).
-        warm_selector = LazyGreedySelector(
-            self._catalog,
-            self._cost_model,
-            self._budget,
-            self._min_relative_benefit,
-        )
-        warm_steps = warm_selector.select(candidates)
-        stats.candidate_evaluations += warm_selector.statistics.candidate_evaluations
-        stats.pruned_for_space += warm_selector.statistics.pruned_for_space
+            # Warm start: the lazy-greedy picks seed the incumbent, making
+            # the solver anytime-safe (never worse than greedy, whatever the
+            # limit).
+            with tracer.span("ilp.warm_start"):
+                warm_selector = LazyGreedySelector(
+                    self._catalog,
+                    self._cost_model,
+                    self._budget,
+                    self._min_relative_benefit,
+                )
+                warm_steps = warm_selector.select(candidates)
+            stats.candidate_evaluations += warm_selector.statistics.candidate_evaluations
+            stats.pruned_for_space += warm_selector.statistics.pruned_for_space
 
-        formulation = build_formulation(
-            self._cost_model, self._catalog, candidates, self._budget
-        )
-        warm_selection = formulation.selection_of(
-            [step.chosen for step in warm_steps]
-        )
-        solver = BranchAndBoundSolver(formulation, self._solver_options)
-        solution = solver.solve(warm_selection, warm_source="lazy-greedy")
+            with tracer.span("ilp.solve") as solve_span:
+                formulation = build_formulation(
+                    self._cost_model, self._catalog, candidates, self._budget
+                )
+                warm_selection = formulation.selection_of(
+                    [step.chosen for step in warm_steps]
+                )
+                solver = BranchAndBoundSolver(formulation, self._solver_options)
+                solution = solver.solve(warm_selection, warm_source="lazy-greedy")
+                solve_span.set(
+                    nodes=solution.nodes_explored,
+                    gap=solution.optimality_gap,
+                    incumbent=solution.incumbent_source,
+                )
 
-        stats.iterations = solution.nodes_explored
-        stats.nodes_explored = solution.nodes_explored
-        stats.optimality_gap = solution.optimality_gap
-        stats.incumbent_source = solution.incumbent_source
+            stats.iterations = solution.nodes_explored
+            stats.nodes_explored = solution.nodes_explored
+            stats.optimality_gap = solution.optimality_gap
+            stats.incumbent_source = solution.incumbent_source
 
-        if solution.selection == warm_selection:
-            steps = warm_steps
-        else:
-            steps = self._order_steps(solution.selected, stats)
+            if solution.selection == warm_selection:
+                steps = warm_steps
+            else:
+                steps = self._order_steps(solution.selected, stats)
 
-        stats.seconds = time.perf_counter() - started
-        stats.query_evaluations = (
-            self._cost_model.query_evaluations - evaluations_before
-        )
-        return steps
+            stats.seconds = timer.elapsed()
+            stats.query_evaluations = (
+                self._cost_model.query_evaluations - evaluations_before
+            )
+            span.set(nodes=stats.nodes_explored)
+            stats.publish("ilp")
+            return steps
 
     def _order_steps(
         self, chosen: Sequence[Index], stats: SelectionStatistics

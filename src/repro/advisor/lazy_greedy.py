@@ -34,14 +34,15 @@ remains the reference loop when in doubt.
 from __future__ import annotations
 
 import heapq
-import time
 from typing import List, Sequence, Tuple
 
 from repro.advisor.benefit import IncrementalWorkloadEvaluator, WorkloadCostModel
 from repro.advisor.greedy import SelectionStatistics, SelectionStep, memo_counters
 from repro.catalog.catalog import Catalog
 from repro.catalog.index import Index
+from repro.obs.trace import get_tracer
 from repro.util.errors import AdvisorError
+from repro.util.timing import timed
 
 
 class LazyGreedySelector:
@@ -69,7 +70,24 @@ class LazyGreedySelector:
 
     def select(self, candidates: Sequence[Index]) -> List[SelectionStep]:
         """Run the lazy greedy loop and return the chosen indexes in pick order."""
-        started = time.perf_counter()
+        with get_tracer().span(
+            "select.lazy", candidates=len(candidates)
+        ) as span, timed() as timer:
+            return self._select(candidates, span, timer)
+
+    def _finish(self, stats, timer, evaluations_before, memo_before, span) -> None:
+        """Close out one run: totals into the stats, the span, the registry."""
+        stats.seconds = timer.elapsed()
+        stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
+        memo_after = memo_counters(self._cost_model)
+        stats.memo_hits = memo_after[0] - memo_before[0]
+        stats.memo_misses = memo_after[1] - memo_before[1]
+        span.set(
+            rounds=stats.iterations, evaluations=stats.candidate_evaluations
+        )
+        stats.publish("lazy")
+
+    def _select(self, candidates: Sequence[Index], span, timer) -> List[SelectionStep]:
         stats = SelectionStatistics()
         self.statistics = stats
         evaluations_before = self._cost_model.query_evaluations
@@ -80,14 +98,9 @@ class LazyGreedySelector:
             # Fused-arena models answer a whole frontier in one batched call,
             # so re-scoring every stale candidate per round is cheaper than
             # maintaining the heap of one-at-a-time bounds.
+            span.set(batched=True)
             steps = self._select_batched(candidates, evaluator, stats)
-            stats.seconds = time.perf_counter() - started
-            stats.query_evaluations = (
-                self._cost_model.query_evaluations - evaluations_before
-            )
-            memo_after = memo_counters(self._cost_model)
-            stats.memo_hits = memo_after[0] - memo_before[0]
-            stats.memo_misses = memo_after[1] - memo_before[1]
+            self._finish(stats, timer, evaluations_before, memo_before, span)
             return steps
         current_cost = evaluator.total
         baseline_cost = current_cost
@@ -154,11 +167,7 @@ class LazyGreedySelector:
             current_cost = chosen_cost
             iteration += 1
 
-        stats.seconds = time.perf_counter() - started
-        stats.query_evaluations = self._cost_model.query_evaluations - evaluations_before
-        memo_after = memo_counters(self._cost_model)
-        stats.memo_hits = memo_after[0] - memo_before[0]
-        stats.memo_misses = memo_after[1] - memo_before[1]
+        self._finish(stats, timer, evaluations_before, memo_before, span)
         return steps
 
     def _select_batched(

@@ -96,6 +96,10 @@ class RecommendRequest:
     #: Tune a template-compressed view of the workload for this call
     #: (``None`` = inherit ``AdvisorOptions.compress``).
     compress: Optional[bool] = None
+    #: Record a span trace of this call and return it on the response
+    #: (``trace`` field / JSON key).  Off by default: an untraced recommend
+    #: pays no tracing overhead at all.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         # Same validation AdvisorOptions applies, before any session work.
@@ -118,7 +122,7 @@ class RecommendRequest:
             "space_budget_bytes", "cost_model", "selector", "engine",
             "candidate_policy", "max_candidates", "min_relative_benefit",
             "candidates", "statement_weights", "ilp_gap", "ilp_time_limit",
-            "compress",
+            "compress", "trace",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -137,6 +141,9 @@ class RecommendRequest:
         compress = kwargs.get("compress")
         if compress is not None and not isinstance(compress, bool):
             raise AdvisorError(f"'compress' must be a boolean, got {compress!r}")
+        trace = kwargs.get("trace")
+        if trace is not None and not isinstance(trace, bool):
+            raise AdvisorError(f"'trace' must be a boolean, got {trace!r}")
         return cls(**kwargs)
 
 
@@ -219,11 +226,15 @@ class RecommendResponse:
     #: total_weight, lossless) when the call tuned a compressed view;
     #: ``None`` for an uncompressed recommend.
     compression: Optional[Dict[str, Any]] = None
+    #: The call's span tree (:meth:`repro.obs.trace.Span.to_dict`) when the
+    #: request asked for ``trace=True``; ``None`` otherwise.  The JSON form
+    #: only carries a ``trace`` key when one was recorded.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON form (the ``repro serve`` wire format)."""
         result = self.result
-        return {
+        payload = {
             "selected_indexes": [index_to_dict(index) for index in result.selected_indexes],
             "candidate_count": result.candidate_count,
             "workload_cost_before": result.workload_cost_before,
@@ -250,6 +261,9 @@ class RecommendResponse:
                 "caches_shared": self.caches_shared,
             },
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
 
 @dataclass

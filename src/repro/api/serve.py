@@ -61,6 +61,7 @@ from repro.api.requests import (
 from repro.advisor.benefit import validate_statement_weight
 from repro.api.session import TuningSession
 from repro.api.tier import SharedCacheTier
+from repro.obs import render_prometheus, snapshot
 from repro.query.parser import parse_statement
 from repro.util.errors import AdvisorError, ReproError
 from repro.workloads import builtin_catalog_factory
@@ -117,7 +118,9 @@ class ServeFrontend:
 
     # -- sessions ----------------------------------------------------------
 
-    def session_for(self, catalog: Optional[str] = None, seed: Optional[int] = None) -> TuningSession:
+    def session_for(
+        self, catalog: Optional[str] = None, seed: Optional[int] = None
+    ) -> TuningSession:
         """The (lazily created) session serving ``catalog`` at ``seed``.
 
         New sessions start with the catalog's built-in workload, mirroring
@@ -356,6 +359,7 @@ class ServeFrontend:
         "horizon_statements",
         "poll_interval_seconds",
         "evaluate_every",
+        "trace",
     )
 
     def _watch_key(self, payload: Dict[str, Any]) -> Tuple[str, int]:
@@ -442,6 +446,23 @@ class ServeFrontend:
         tuner.source.close()
         return {"watching": False, "statistics": tuner.statistics.to_dict()}
 
+    def _op_metrics(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
+        """The process-wide metrics registry, as Prometheus text or JSON.
+
+        ``format`` is ``"prometheus"`` (default; the exposition text under
+        an ``"exposition"`` key) or ``"json"`` (the structured snapshot).
+        Every family the stack declares is present with HELP/TYPE headers
+        even before it has recorded anything.
+        """
+        fmt = params.get("format", "prometheus")
+        if fmt == "prometheus":
+            return {"format": "prometheus", "exposition": render_prometheus()}
+        if fmt == "json":
+            return {"format": "json", **snapshot()}
+        raise AdvisorError(
+            f"unknown metrics format {fmt!r} (known: 'prometheus', 'json')"
+        )
+
     def _op_shutdown(self, payload: Dict[str, Any], params: Dict[str, Any]) -> Dict[str, Any]:
         self._shutdown = True
         return {"shutting_down": True}
@@ -454,7 +475,7 @@ class ServeFrontend:
         overview = []
         for (catalog, seed), session in self._sessions.items():
             statistics = session.statistics
-            overview.append({
+            entry = {
                 "catalog": catalog,
                 "seed": seed,
                 "recommend_calls": statistics.recommend_calls,
@@ -464,7 +485,19 @@ class ServeFrontend:
                 "last_recommend_at": session.last_recommend_at,
                 "last_retune_at": session.last_retune_at,
                 "watching": (catalog, seed) in self._watchers,
-            })
+            }
+            watcher = self._watchers.get((catalog, seed))
+            if watcher is not None:
+                # Feed health of the attached online tuner: silently skipped
+                # lines and poll-cycle latency, same numbers as watch_stats.
+                entry["watch"] = {
+                    "malformed_lines": watcher.source.statistics.malformed_lines,
+                    "statements_ingested": watcher.source.statistics.statements_parsed,
+                    "poll_count": watcher.poll_count,
+                    "poll_seconds_total": watcher.poll_seconds_total,
+                    "last_poll_seconds": watcher.last_poll_seconds,
+                }
+            overview.append(entry)
         return overview
 
     # -- internals ---------------------------------------------------------

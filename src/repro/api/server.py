@@ -39,10 +39,13 @@ Two server-level operations exist next to the session operations:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import itertools
 import json
+import logging
 import os
 import signal
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Set, Tuple
@@ -50,10 +53,29 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from repro.advisor.advisor import AdvisorOptions
 from repro.api.serve import ServeFrontend
 from repro.api.tier import SharedCacheTier
+from repro.obs.instruments import (
+    SERVE_CONNECTIONS,
+    SERVE_INFLIGHT,
+    SERVE_REQUESTS,
+    SERVE_SECONDS,
+)
+from repro.obs.trace import get_tracer
 from repro.util.errors import AdvisorError
+from repro.util.timing import timed
 
 #: Queue items are ("line", decoded_request) or ("end", reason).
 _QueueItem = Tuple[str, str]
+
+#: Ops accepted as metric label values; anything else (typos, probes from
+#: arbitrary clients) is folded into ``unknown`` so label cardinality stays
+#: bounded no matter what reaches the socket.
+_KNOWN_OPS = frozenset(
+    name[len("_op_"):] for name in dir(ServeFrontend) if name.startswith("_op_")
+) | {"server_stats"}
+
+
+def _op_label(op: object) -> str:
+    return op if isinstance(op, str) and op in _KNOWN_OPS else "unknown"
 
 
 class TuningServer:
@@ -75,6 +97,7 @@ class TuningServer:
         options: Optional[AdvisorOptions] = None,
         shared_tier: Optional[SharedCacheTier] = None,
         workers: Optional[int] = None,
+        access_log: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -84,6 +107,17 @@ class TuningServer:
         #: The process-wide shared read-only cache tier under every session.
         self.shared_tier = shared_tier or SharedCacheTier()
         self._workers = workers or min(32, (os.cpu_count() or 1) * 4)
+        #: ``--access-log``: one structured line per request (session_id,
+        #: op, status, duration_ms, trace_id) through the ``repro.access``
+        #: logger.  Requests also get root spans then, so the logged
+        #: trace_id correlates with any ``--trace-out`` sink.
+        self._access_log = access_log
+        self._access_logger = logging.getLogger("repro.access")
+        if access_log and not self._access_logger.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            self._access_logger.addHandler(handler)
+            self._access_logger.setLevel(logging.INFO)
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping: Optional[asyncio.Event] = None
@@ -174,6 +208,7 @@ class TuningServer:
         if task is not None:
             self._connection_tasks.add(task)
         self._connections_active += 1
+        SERVE_CONNECTIONS.inc()
         default_session = f"conn-{next(self._connection_ids)}"
         queue: asyncio.Queue = asyncio.Queue()
         pump = asyncio.create_task(self._pump_lines(reader, queue))
@@ -221,6 +256,7 @@ class TuningServer:
             except (ConnectionError, BrokenPipeError):  # pragma: no cover
                 pass
             self._connections_active -= 1
+            SERVE_CONNECTIONS.dec()
             if task is not None:
                 self._connection_tasks.discard(task)
 
@@ -262,18 +298,55 @@ class TuningServer:
         return frontend
 
     async def _process(self, line: str, default_session: str) -> Tuple[str, bool]:
-        """One request line in, one response line out; flags close-after."""
+        """One request line in, one response line out; flags close-after.
+
+        Wraps the dispatch with the serving instruments: per-op request
+        counter and latency histogram, the in-flight gauge, and -- with
+        ``access_log`` -- a per-request root span plus one structured log
+        line carrying its trace id.
+        """
+        SERVE_INFLIGHT.inc()
+        tracer = get_tracer()
+        try:
+            with tracer.span("serve.request", root=self._access_log) as span, timed() as timer:
+                text, close, op, ok, session_id = await self._dispatch(
+                    line, default_session
+                )
+                span.set(op=op, ok=ok, session_id=session_id)
+        finally:
+            SERVE_INFLIGHT.dec()
+        status = "ok" if ok else "error"
+        SERVE_REQUESTS.labels(op=op, status=status).inc()
+        SERVE_SECONDS.labels(op=op).observe(timer.seconds)
+        if self._access_log:
+            self._access_logger.info(json.dumps({
+                "session_id": session_id,
+                "op": op,
+                "status": status,
+                "duration_ms": round(timer.seconds * 1000.0, 3),
+                "trace_id": span.trace_id,
+            }, sort_keys=True))
+        return text, close
+
+    async def _dispatch(
+        self, line: str, default_session: str
+    ) -> Tuple[str, bool, str, bool, str]:
+        """Decode and answer one request.
+
+        Returns ``(response_text, close_after, op_label, ok, session_id)``
+        -- the last three feed the metrics/access-log wrapper above.
+        """
         try:
             payload = json.loads(line)
         except ValueError as error:
             return json.dumps(ServeFrontend._error_response(
                 None, None, AdvisorError(f"request is not valid JSON: {error}")
-            )), False
+            )), False, "unknown", False, default_session
         if not isinstance(payload, dict):
             return json.dumps(ServeFrontend._error_response(
                 None, None,
                 AdvisorError("a request must be a JSON object with an 'op' field"),
-            )), False
+            )), False, "unknown", False, default_session
         session_id = str(payload.get("session_id") or default_session)
         op = payload.get("op")
         if op == "server_stats":
@@ -284,21 +357,25 @@ class TuningServer:
                 "result": self.server_stats(),
                 "session_id": session_id,
             }
-            return json.dumps(response), False
+            return json.dumps(response), False, "server_stats", True, session_id
         frontend = self._frontend_for(session_id)
         lock = self._locks[session_id]
         loop = asyncio.get_running_loop()
+        # The executor does not propagate contextvars, so the handler runs
+        # inside a copy of this coroutine's context -- spans opened on the
+        # worker thread parent under the request span opened above.
+        context = contextvars.copy_context()
         # Per-session serialization: a session's requests never overlap, so
         # the TuningSession underneath stays effectively single-threaded;
         # different sessions run truly concurrently on the pool.
         async with lock:
             response = await loop.run_in_executor(
-                self._executor, frontend.handle, payload
+                self._executor, context.run, frontend.handle, payload
             )
         self._requests_served += 1
         response["session_id"] = session_id
         close = bool(op == "shutdown" and response.get("ok"))
-        return json.dumps(response), close
+        return json.dumps(response), close, _op_label(op), bool(response.get("ok")), session_id
 
     def server_stats(self) -> Dict[str, Any]:
         """The ``server_stats`` operation: process-wide counters + tier."""

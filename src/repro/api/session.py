@@ -76,6 +76,13 @@ from repro.inum.workload_builder import (
     WorkloadCacheBuilder,
     rename_cache,
 )
+from repro.obs.instruments import (
+    RECOMMEND_SECONDS,
+    SESSION_CACHES,
+    SESSION_RECOMMENDS,
+    SESSION_RETUNES,
+)
+from repro.obs.trace import get_tracer
 from repro.optimizer.maintenance import build_profiles, profile_for
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
@@ -86,6 +93,7 @@ from repro.util.fingerprint import (
     query_fingerprint,
     template_fingerprint,
 )
+from repro.util.timing import timed
 from repro.workloads.compress import compress_workload
 
 #: Identity of one pooled cache: (query fingerprint, builder, candidate-set
@@ -237,6 +245,19 @@ class SessionStatistics:
     #: session (:meth:`TuningSession.note_retune`); 0/0 unless watched.
     retunes_accepted: int = 0
     retunes_rejected: int = 0
+
+    def record_caches(self, source: str, count: int = 1) -> None:
+        """Count cache acquisitions: the field and the registry in one step.
+
+        ``source`` is one of ``built`` / ``from_store`` / ``deduplicated`` /
+        ``reused`` / ``shared`` -- the same vocabulary as the fields and the
+        ``repro_session_caches_total`` label, so the per-session dataclass
+        and the process-wide family can never disagree.
+        """
+        if count:
+            field_name = f"caches_{source}"
+            setattr(self, field_name, getattr(self, field_name) + count)
+            SESSION_CACHES.labels(source=source).inc(count)
 
     def snapshot(self) -> "SessionStatistics":
         """A copy (for before/after deltas in tests and benchmarks)."""
@@ -530,6 +551,7 @@ class TuningSession:
             self.statistics.retunes_accepted += 1
         else:
             self.statistics.retunes_rejected += 1
+        SESSION_RETUNES.labels(outcome="accepted" if accepted else "rejected").inc()
         self.last_retune_at = time.monotonic()
 
     def set_weights(self, weights: Dict[str, float], replace: bool = False) -> Dict[str, float]:
@@ -565,38 +587,63 @@ class TuningSession:
         cache in the session pool (or the persistent store) cost optimizer
         work; selection always re-runs so budget or option changes take
         effect.
+
+        ``request.trace=True`` records the call as a span tree -- root
+        ``session.recommend`` decomposing into ``recommend.build`` /
+        ``recommend.evaluate`` / ``recommend.select`` children -- returned
+        on ``response.trace`` and handed to any tracer sinks.  Untraced
+        calls skip all of it (the span calls are shared no-ops).
         """
         request = request or RecommendRequest()
+        tracer = get_tracer()
+        with tracer.span("session.recommend", root=request.trace) as span, timed() as timer:
+            response = self._recommend(request, tracer)
+            span.set(
+                selector=response.result.selector,
+                engine=response.result.engine,
+                selected=len(response.result.selected_indexes),
+            )
+        self.statistics.recommend_calls += 1
+        self.last_recommend_at = time.monotonic()
+        SESSION_RECOMMENDS.inc()
+        RECOMMEND_SECONDS.labels(selector=response.result.selector).observe(timer.seconds)
+        if request.trace:
+            response.trace = span.to_dict() or None
+        return response
+
+    def _recommend(self, request: RecommendRequest, tracer) -> RecommendResponse:
         options = self._effective_options(request)
         workload = self.queries
         if not workload:
             raise AdvisorError("the workload must contain at least one query")
 
-        compression_stats: Optional[Dict[str, object]] = None
-        if options.compress:
-            # Tune a template-folded view: one weighted representative per
-            # template.  The session workload itself is untouched -- only
-            # this call's cost model and selection see the compressed shape.
-            compressed = compress_workload(workload, options.weight_map() or None)
-            workload = compressed.statements
-            options = dataclasses.replace(
-                options, statement_weights=compressed.weights or None
-            )
-            compression_stats = compressed.stats()
-            self.last_compression = compression_stats
+        with tracer.span("recommend.build") as build_span:
+            compression_stats: Optional[Dict[str, object]] = None
+            if options.compress:
+                # Tune a template-folded view: one weighted representative per
+                # template.  The session workload itself is untouched -- only
+                # this call's cost model and selection see the compressed shape.
+                compressed = compress_workload(workload, options.weight_map() or None)
+                workload = compressed.statements
+                options = dataclasses.replace(
+                    options, statement_weights=compressed.weights or None
+                )
+                compression_stats = compressed.stats()
+                self.last_compression = compression_stats
 
-        if request.candidates is not None:
-            plan = explicit_candidate_plan(
-                request.candidates, workload, options.max_candidates
-            )
-        else:
-            policy = CANDIDATE_POLICIES.get(options.candidate_policy)
-            plan = policy(self._generator, workload, options.max_candidates)
+            if request.candidates is not None:
+                plan = explicit_candidate_plan(
+                    request.candidates, workload, options.max_candidates
+                )
+            else:
+                policy = CANDIDATE_POLICIES.get(options.candidate_policy)
+                plan = policy(self._generator, workload, options.max_candidates)
 
-        before = self.statistics.snapshot()
-        cost_model, preparation_calls, preparation_seconds = self._build_cost_model(
-            workload, plan, options
-        )
+            before = self.statistics.snapshot()
+            cost_model, preparation_calls, preparation_seconds = self._build_cost_model(
+                workload, plan, options
+            )
+            build_span.set(queries=len(workload), candidates=len(plan.pool))
 
         selector_factory = SELECTORS.get(options.selector)
         selector = _call_selector_factory(
@@ -605,16 +652,19 @@ class TuningSession:
             cost_model,
             options,
         )
-        per_query_before = cost_model.per_query_costs([])
-        cost_before = cost_model.weighted_total(per_query_before)
-        pool, pruned_for_writes = self._prune_candidates(
-            workload, plan.pool, cost_model, per_query_before
-        )
-        steps = selector.select(pool)
+        with tracer.span("recommend.evaluate", phase="baseline"):
+            per_query_before = cost_model.per_query_costs([])
+            cost_before = cost_model.weighted_total(per_query_before)
+            pool, pruned_for_writes = self._prune_candidates(
+                workload, plan.pool, cost_model, per_query_before
+            )
+        with tracer.span("recommend.select", selector=options.selector):
+            steps = selector.select(pool)
         selection_stats: SelectionStatistics = selector.statistics
         selected = [step.chosen for step in steps]
-        per_query_after = cost_model.per_query_costs(selected)
-        cost_after = cost_model.weighted_total(per_query_after)
+        with tracer.span("recommend.evaluate", phase="selected"):
+            per_query_after = cost_model.per_query_costs(selected)
+            cost_after = cost_model.weighted_total(per_query_after)
         total_bytes = sum(self._catalog.index_size_bytes(index) for index in selected)
 
         result = AdvisorResult(
@@ -640,8 +690,6 @@ class TuningSession:
             compression=compression_stats,
         )
         self.last_result = result
-        self.statistics.recommend_calls += 1
-        self.last_recommend_at = time.monotonic()
         after = self.statistics
         return RecommendResponse(
             result=result,
@@ -789,9 +837,9 @@ class TuningSession:
             self._tier_ns.promote_caches(promoted)
             self._call_cache.publish_shared()
         report = result.report
-        self.statistics.caches_built += report.queries_built
-        self.statistics.caches_from_store += report.queries_from_store
-        self.statistics.caches_deduplicated += report.queries_deduplicated
+        self.statistics.record_caches("built", report.queries_built)
+        self.statistics.record_caches("from_store", report.queries_from_store)
+        self.statistics.record_caches("deduplicated", report.queries_deduplicated)
         return result
 
     def build_query_cache(
@@ -815,13 +863,13 @@ class TuningSession:
         key = self._cache_key(query, builder, candidate_list)
         cached = self._cache_pool.get(key)
         if cached is not None:
-            self.statistics.caches_reused += 1
+            self.statistics.record_caches("reused")
             return self._attach(cached, query)
         if self._tier_ns is not None:
             shared = self._tier_ns.lookup_cache(key)
             if shared is not None:
                 self._cache_pool[key] = shared
-                self.statistics.caches_shared += 1
+                self.statistics.record_caches("shared")
                 return self._attach(shared, query)
         builder_class = CACHE_BUILDERS.get(builder)
         instance = builder_class(
@@ -846,7 +894,7 @@ class TuningSession:
         if self._tier_ns is not None:
             self._tier_ns.promote_caches({key: cache})
             self._call_cache.publish_shared()
-        self.statistics.caches_built += 1
+        self.statistics.record_caches("built")
         return cache
 
     def clear_caches(self) -> int:
@@ -983,7 +1031,7 @@ class TuningSession:
         missing: List[Query] = []
         for query in workload:
             if keys[query.name] in self._cache_pool:
-                self.statistics.caches_reused += 1
+                self.statistics.record_caches("reused")
                 continue
             shared = (
                 self._tier_ns.lookup_cache(keys[query.name])
@@ -995,7 +1043,7 @@ class TuningSession:
                 # object (read-only; DML maintenance is applied on a
                 # detached copy, see _apply_maintenance).
                 self._cache_pool[keys[query.name]] = shared
-                self.statistics.caches_shared += 1
+                self.statistics.record_caches("shared")
                 continue
             missing.append(query)
 
@@ -1021,9 +1069,9 @@ class TuningSession:
             report = result.report
             preparation_calls = report.optimizer_calls
             preparation_seconds = report.wall_seconds
-            self.statistics.caches_built += report.queries_built
-            self.statistics.caches_from_store += report.queries_from_store
-            self.statistics.caches_deduplicated += report.queries_deduplicated
+            self.statistics.record_caches("built", report.queries_built)
+            self.statistics.record_caches("from_store", report.queries_from_store)
+            self.statistics.record_caches("deduplicated", report.queries_deduplicated)
             if self._tier_ns is not None:
                 self._tier_ns.promote_caches(
                     {keys[query.name]: result.caches[query.name] for query in missing}

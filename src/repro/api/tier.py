@@ -41,12 +41,24 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.inum.serialization import CacheStore, PageCache
+from repro.obs.instruments import TIER_LOOKUPS, TIER_PROMOTIONS
 from repro.optimizer.whatif import SharedWhatIfResults
 from repro.util.fingerprint import catalog_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.catalog.catalog import Catalog
     from repro.inum.cache import InumCache
+
+# Pre-resolved registry children: tier lookups sit on the recommend hot path,
+# so the label resolution happens once at import, not per call.
+_LOOKUP = {
+    ("cache", True): TIER_LOOKUPS.labels(kind="cache", result="hit"),
+    ("cache", False): TIER_LOOKUPS.labels(kind="cache", result="miss"),
+    ("engine", True): TIER_LOOKUPS.labels(kind="engine", result="hit"),
+    ("engine", False): TIER_LOOKUPS.labels(kind="engine", result="miss"),
+    ("arena", True): TIER_LOOKUPS.labels(kind="arena", result="hit"),
+    ("arena", False): TIER_LOOKUPS.labels(kind="arena", result="miss"),
+}
 
 
 @dataclass
@@ -119,6 +131,7 @@ class TierNamespace:
         cache = self._caches.get(key)
         if cache is not None:
             self.statistics.cache_hits += 1
+        _LOOKUP[("cache", cache is not None)].inc()
         return cache
 
     def promote_caches(self, caches: Dict[tuple, "InumCache"]) -> int:
@@ -142,6 +155,7 @@ class TierNamespace:
                     del merged[stale]
             self._caches = merged
             self.statistics.cache_promotions += len(fresh)
+            TIER_PROMOTIONS.labels(kind="cache").inc(len(fresh))
             return len(fresh)
 
     @property
@@ -156,6 +170,7 @@ class TierNamespace:
         engine = self._engines.get(key)
         if engine is not None:
             self.statistics.engine_hits += 1
+        _LOOKUP[("engine", engine is not None)].inc()
         return engine
 
     def promote_engine(self, key: Tuple[str, str], engine: object) -> None:
@@ -170,6 +185,7 @@ class TierNamespace:
                     del merged[stale]
             self._engines = merged
             self.statistics.engine_promotions += 1
+            TIER_PROMOTIONS.labels(kind="engine").inc()
 
     @property
     def engine_count(self) -> int:
@@ -187,6 +203,7 @@ class TierNamespace:
         arena = self._arenas.get(arena_id)
         if arena is not None:
             self.statistics.arena_hits += 1
+        _LOOKUP[("arena", arena is not None)].inc()
         return arena
 
     def promote_arena(self, arena_id: str, arena: object) -> None:
@@ -201,6 +218,7 @@ class TierNamespace:
                     del merged[stale]
             self._arenas = merged
             self.statistics.arena_promotions += 1
+            TIER_PROMOTIONS.labels(kind="arena").inc()
 
     @property
     def arena_count(self) -> int:

@@ -27,7 +27,15 @@ implementation:
   window, and re-tune the index configuration when the template mix
   drifts -- re-tunes are warm (delta cache builds only) and gated by
   transition costing (see :mod:`repro.online`).  Decisions stream to
-  stdout as NDJSON events.
+  stdout as NDJSON events,
+* ``metrics``        -- dump the process-wide metrics registry
+  (:mod:`repro.obs`) as Prometheus text exposition or JSON, either for
+  this process or scraped from a running ``serve --tcp`` server.
+
+``recommend`` and ``watch`` accept ``--trace-out FILE`` to append every
+recorded span tree as NDJSON (one span per line, children linked by
+``parent_id``); ``serve --tcp --access-log`` logs one structured line per
+request to stderr.
 
 Examples::
 
@@ -64,10 +72,11 @@ cache and spends zero optimizer calls.  ``recommend`` accepts the same
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
 import json
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.advisor import AdvisorOptions, CandidateGenerator
 from repro.advisor.candidates import DEFAULT_MAX_CANDIDATES
@@ -153,6 +162,26 @@ def _build_session(args: argparse.Namespace, options: AdvisorOptions) -> TuningS
     )
 
 
+@contextlib.contextmanager
+def _trace_to_file(path: str) -> Iterator[None]:
+    """Append every root span finished inside the block to ``path`` as NDJSON."""
+    from repro.obs import get_tracer, write_spans_ndjson
+
+    tracer = get_tracer()
+    handle = open(path, "a", encoding="utf-8")
+
+    def sink(span) -> None:
+        write_spans_ndjson(span, handle)
+        handle.flush()
+
+    tracer.add_sink(sink)
+    try:
+        yield
+    finally:
+        tracer.remove_sink(sink)
+        handle.close()
+
+
 # -- subcommands ------------------------------------------------------------------
 
 
@@ -201,7 +230,13 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
                 f"--weight names unknown statements: {', '.join(unknown)} "
                 f"(workload: {', '.join(query.name for query in queries)})"
             )
-    result = session.recommend().result
+    if args.trace_out:
+        from repro.api.requests import RecommendRequest
+
+        with _trace_to_file(args.trace_out):
+            result = session.recommend(RecommendRequest(trace=True)).result
+    else:
+        result = session.recommend().result
     print(f"workload          : {len(queries)} queries over catalog {args.catalog!r}")
     print(f"database size     : {format_bytes(session.catalog.database_size_bytes())}")
     print(f"cache preparation : {result.preparation_optimizer_calls} optimizer calls "
@@ -225,6 +260,8 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         improvement = 0.0 if before == 0 else 100.0 * (1 - after / before)
         table.add_row(name, before, after, f"{improvement:.1f}%")
     table.print()
+    if args.trace_out:
+        print(f"trace             : spans appended to {args.trace_out}")
     return 0
 
 
@@ -340,6 +377,9 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             ("drift_low_water", args.low_water),
             ("horizon_statements", args.horizon),
             ("poll_interval_seconds", args.poll_interval),
+            # --trace-out turns on per-poll root spans; the sink below
+            # appends them to the file as each poll finishes.
+            ("trace", True if args.trace_out else None),
         )
         if value is not None
     }
@@ -352,11 +392,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
     emit({"event": "watching", "follow": args.follow, "catalog": args.catalog,
           "config": config.to_dict()})
-    try:
-        tuner.run(max_polls=args.max_polls, idle_exit_seconds=args.idle_exit,
-                  on_event=emit)
-    except KeyboardInterrupt:  # pragma: no cover - interactive use
-        pass
+    with contextlib.ExitStack() as stack:
+        if args.trace_out:
+            stack.enter_context(_trace_to_file(args.trace_out))
+        try:
+            tuner.run(max_polls=args.max_polls, idle_exit_seconds=args.idle_exit,
+                      on_event=emit)
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            pass
     emit({"event": "final", **tuner.statistics.to_dict()})
     return 0
 
@@ -397,6 +440,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             options=options,
             workers=args.workers,
+            access_log=args.access_log,
         )
 
         def announce(event: dict) -> None:
@@ -404,12 +448,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         asyncio.run(server.run(announce))
         return 0
+    if args.access_log:
+        raise AdvisorError("--access-log requires the --tcp transport")
     frontend = ServeFrontend(
         default_catalog=args.catalog,
         seed=args.seed,
         options=options,
     )
     return frontend.serve(sys.stdin, sys.stdout)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.tcp is not None:
+        import socket
+
+        host, port = _parse_tcp_endpoint(args.tcp)
+        request = json.dumps(
+            {"id": 1, "op": "metrics", "params": {"format": args.format}}
+        )
+        with socket.create_connection((host, port), timeout=30.0) as connection:
+            connection.sendall((request + "\n").encode("utf-8"))
+            with connection.makefile("r", encoding="utf-8") as reader:
+                line = reader.readline()
+        if not line:
+            raise ReproError(f"metrics server at {args.tcp} closed without answering")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ReproError(
+                f"metrics request failed: {error.get('message', response)}"
+            )
+        result = response["result"]
+    else:
+        # Importing the catalog registers every family the stack declares,
+        # so even a fresh process renders the full HELP/TYPE inventory.
+        import repro.obs.instruments  # noqa: F401
+        from repro.obs import render_prometheus, snapshot
+
+        if args.format == "prometheus":
+            result = {"format": "prometheus", "exposition": render_prometheus()}
+        else:
+            result = {"format": "json", **snapshot()}
+    if result.get("format") == "prometheus":
+        sys.stdout.write(result["exposition"])
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
 
 
 # -- argument parsing ----------------------------------------------------------------
@@ -488,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "tuning: one weighted representative per template "
                                 "(literals -> parameter markers), so a large trace "
                                 "costs one cache build per distinct template")
+    recommend.add_argument("--trace-out", metavar="FILE", default=None,
+                           help="record a span trace of the recommend call and "
+                                "append it to FILE as NDJSON (one span per line, "
+                                "children linked by parent_id)")
     recommend.set_defaults(handler=_cmd_recommend)
 
     cache = subparsers.add_parser("cache", help="build a plan cache and report statistics")
@@ -534,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool size for --tcp (cross-session parallelism cap)")
+    serve.add_argument(
+        "--access-log", action="store_true",
+        help="with --tcp: log one structured JSON line per request to stderr "
+             "(session_id, op, status, duration_ms, trace_id)")
     add_tuning_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -572,10 +664,26 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--idle-exit", type=float, default=None, metavar="SECONDS",
                        help="exit after this long without new statements "
                             "(default: keep waiting)")
+    watch.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="record a span trace of every poll cycle and append "
+                            "it to FILE as NDJSON")
     add_tuning_options(watch)
     # A watched session's workload churns template-by-template; per_query
     # keeps every re-tune's cache builds to exactly the never-seen delta.
     watch.set_defaults(handler=_cmd_watch, candidate_policy="per_query")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="dump the process-wide metrics registry (Prometheus text or JSON)",
+    )
+    metrics.add_argument("--format", choices=["prometheus", "json"],
+                         default="prometheus",
+                         help="Prometheus text exposition (default) or the JSON "
+                              "snapshot with interpolated histogram quantiles")
+    metrics.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                         help="scrape a running 'repro serve --tcp' server "
+                              "instead of this (fresh) process")
+    metrics.set_defaults(handler=_cmd_metrics)
     return parser
 
 

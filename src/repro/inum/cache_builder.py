@@ -11,19 +11,21 @@ so the Figure 4 comparison can be regenerated.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.catalog.index import Index
 from repro.inum.cache import CacheEntry, InumCache
 from repro.inum.combinations import candidate_probe_indexes, covering_configuration
+from repro.obs.instruments import BUILD_SECONDS
+from repro.obs.trace import get_tracer
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.interesting_orders import enumerate_combinations, interesting_orders_by_table
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.query.ast import Query
 from repro.util.errors import PlanningError
+from repro.util.timing import timed
 
 
 @dataclass
@@ -85,10 +87,11 @@ class InumCacheBuilder:
         memoized hits when a :class:`WhatIfCallCache` is in use.  Without a
         call cache the phase order is irrelevant.
         """
-        cache = InumCache(query)
-        self.collect_access_costs(query, cache, candidate_indexes)
-        self.build_plan_cache(query, cache)
-        cache.validate()
+        with get_tracer().span("inum.build_cache", query=query.name, builder="inum"):
+            cache = InumCache(query)
+            self.collect_access_costs(query, cache, candidate_indexes)
+            self.build_plan_cache(query, cache)
+            cache.validate()
         return cache
 
     def build_plan_cache(self, query: Query, cache: Optional[InumCache] = None) -> InumCache:
@@ -99,36 +102,36 @@ class InumCacheBuilder:
         if self._options.max_combinations is not None:
             combinations = combinations[: self._options.max_combinations]
 
-        started = time.perf_counter()
         baseline = WhatIfCallCache.hit_baseline(self._whatif)
         probes = 0
-        for ioc in combinations:
-            configuration = covering_configuration(
-                query, ioc,
-                include_referenced_columns=self._options.covering_probe_indexes,
-            )
-            result = self._whatif.optimize_with_configuration(
-                query, configuration.indexes, exclusive=True, enable_nestloop=False
-            )
-            probes += 1
-            cache.add_entry(CacheEntry.from_plan(result.plan, orders_by_table, source="inum"))
-
-            if self._options.include_nestloop_plans:
-                nlj_result = self._whatif.optimize_with_configuration(
-                    query, configuration.indexes, exclusive=True, enable_nestloop=True
+        with timed(BUILD_SECONDS, builder="inum", phase="plans") as timer:
+            for ioc in combinations:
+                configuration = covering_configuration(
+                    query, ioc,
+                    include_referenced_columns=self._options.covering_probe_indexes,
+                )
+                result = self._whatif.optimize_with_configuration(
+                    query, configuration.indexes, exclusive=True, enable_nestloop=False
                 )
                 probes += 1
-                if nlj_result.plan.uses_nested_loop():
-                    cache.add_entry(
-                        CacheEntry.from_plan(nlj_result.plan, orders_by_table, source="inum")
+                cache.add_entry(CacheEntry.from_plan(result.plan, orders_by_table, source="inum"))
+
+                if self._options.include_nestloop_plans:
+                    nlj_result = self._whatif.optimize_with_configuration(
+                        query, configuration.indexes, exclusive=True, enable_nestloop=True
                     )
+                    probes += 1
+                    if nlj_result.plan.uses_nested_loop():
+                        cache.add_entry(
+                            CacheEntry.from_plan(nlj_result.plan, orders_by_table, source="inum")
+                        )
 
         hits = WhatIfCallCache.hits_since(self._whatif, baseline)
         cache.build_stats.optimizer_calls_plans += probes - hits
         cache.build_stats.whatif_cache_hits += hits
         if isinstance(self._whatif, WhatIfCallCache):
             cache.build_stats.whatif_cache_misses += probes - hits
-        cache.build_stats.seconds_plans += time.perf_counter() - started
+        cache.build_stats.seconds_plans += timer.seconds
         cache.build_stats.combinations_enumerated = len(combinations)
         cache.build_stats.entries_cached = cache.entry_count
         cache.build_stats.unique_plans = cache.unique_plan_count()
@@ -153,42 +156,42 @@ class InumCacheBuilder:
         candidates = list(candidate_indexes) if candidate_indexes is not None else (
             candidate_probe_indexes(query)
         )
-        started = time.perf_counter()
         baseline = WhatIfCallCache.hit_baseline(self._whatif)
         probes = 0
 
-        # Heap (sequential-scan) costs: a single call with no indexes visible.
-        hooks = OptimizerHooks(keep_all_access_paths=True)
-        result = self._whatif.optimize_with_configuration(
-            query, [], exclusive=True, enable_nestloop=False, hooks=hooks
-        )
-        probes += 1
-        for path in result.access_paths:
-            if path.method == "seqscan":
-                cache.access_costs.add_path(path)
-
-        # One optimizer call per candidate index.
-        for index in candidates:
-            if index.table not in query.tables:
-                continue
+        with timed(BUILD_SECONDS, builder="inum", phase="access_costs") as timer:
+            # Heap (sequential-scan) costs: a single call, no indexes visible.
             hooks = OptimizerHooks(keep_all_access_paths=True)
             result = self._whatif.optimize_with_configuration(
-                query, [index], exclusive=True, enable_nestloop=False, hooks=hooks
+                query, [], exclusive=True, enable_nestloop=False, hooks=hooks
             )
             probes += 1
-            recorded = False
             for path in result.access_paths:
-                if path.index is not None and path.index.key == index.key:
+                if path.method == "seqscan":
                     cache.access_costs.add_path(path)
-                    recorded = True
-            if not recorded:
-                raise PlanningError(
-                    f"optimizer call for index {index.name!r} produced no access path"
+
+            # One optimizer call per candidate index.
+            for index in candidates:
+                if index.table not in query.tables:
+                    continue
+                hooks = OptimizerHooks(keep_all_access_paths=True)
+                result = self._whatif.optimize_with_configuration(
+                    query, [index], exclusive=True, enable_nestloop=False, hooks=hooks
                 )
+                probes += 1
+                recorded = False
+                for path in result.access_paths:
+                    if path.index is not None and path.index.key == index.key:
+                        cache.access_costs.add_path(path)
+                        recorded = True
+                if not recorded:
+                    raise PlanningError(
+                        f"optimizer call for index {index.name!r} produced no access path"
+                    )
 
         hits = WhatIfCallCache.hits_since(self._whatif, baseline)
         cache.build_stats.optimizer_calls_access_costs += probes - hits
         cache.build_stats.whatif_cache_hits += hits
         if isinstance(self._whatif, WhatIfCallCache):
             cache.build_stats.whatif_cache_misses += probes - hits
-        cache.build_stats.seconds_access_costs += time.perf_counter() - started
+        cache.build_stats.seconds_access_costs += timer.seconds

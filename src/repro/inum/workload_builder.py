@@ -25,7 +25,6 @@ workload-level accounting the benchmarks and the CLI report.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -37,6 +36,8 @@ from repro.inum.cache import CacheBuildStatistics, InumCache
 from repro.inum.cache_builder import InumBuilderOptions
 from repro.inum.dml import build_statement_cache
 from repro.inum.serialization import CacheStore, cache_from_dict, cache_to_dict
+from repro.obs.instruments import BUILD_QUERIES
+from repro.obs.trace import get_tracer
 from repro.optimizer.interesting_orders import combination_count
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache
@@ -44,6 +45,7 @@ from repro.pinum.cache_builder import PinumBuilderOptions
 from repro.query.ast import DmlStatement, Query
 from repro.util.errors import ReproError
 from repro.util.fingerprint import query_fingerprint
+from repro.util.timing import timed
 
 #: Built-in per-query builders (the authoritative, extensible list is
 #: :data:`repro.api.registry.CACHE_BUILDERS`).
@@ -237,10 +239,32 @@ class WorkloadCacheBuilder:
         """
         if not queries:
             raise ReproError("the workload must contain at least one query")
-        wall_started = time.perf_counter()
+        opts = self.options
+        with get_tracer().span(
+            "inum.build_workload",
+            builder=opts.builder,
+            jobs=opts.jobs,
+            queries=len(queries),
+        ) as span, timed() as wall:
+            result = self._build(list(queries), candidate_indexes, per_query_candidates, wall)
+        report = result.report
+        span.set(
+            built=report.queries_built,
+            store=report.queries_from_store,
+            deduplicated=report.queries_deduplicated,
+        )
+        return result
+
+    def _build(
+        self,
+        queries: List[Query],
+        candidate_indexes: Optional[Sequence[Index]],
+        per_query_candidates: Optional[Dict[str, Optional[List[Index]]]],
+        wall: timed,
+    ) -> WorkloadBuildResult:
         opts = self.options
 
-        plans = self._plan_queries(list(queries))
+        plans = self._plan_queries(queries)
         if per_query_candidates is None:
             per_query_candidates = {
                 query.name: self._relevant_candidates(query, candidate_indexes)
@@ -304,8 +328,10 @@ class WorkloadCacheBuilder:
             builder=opts.builder,
             jobs=opts.jobs,
             outcomes=[outcomes[query.name] for query in queries],
-            wall_seconds=time.perf_counter() - wall_started,
+            wall_seconds=wall.elapsed(),
         )
+        for outcome in report.outcomes:
+            BUILD_QUERIES.labels(source=outcome.source).inc()
         return WorkloadBuildResult(caches=caches, report=report)
 
     # -- internals ---------------------------------------------------------
@@ -367,14 +393,24 @@ class WorkloadCacheBuilder:
         ordered = sorted(queries, key=_build_complexity, reverse=True)
         workers = min(self.options.jobs, len(ordered))
         caches: Dict[str, InumCache] = {}
+        tracer = get_tracer()
+        # Workers cannot see this process's spans, so when a trace is active
+        # each worker records its build under a root span of its own and
+        # ships the finished subtree home with the cache; adopt() re-parents
+        # it under the caller's span as if the work had happened in-process.
+        traced = tracer.active
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_initialize,
             initargs=(self._catalog_factory, self.options),
         ) as pool:
-            tasks = [(query, per_query_candidates[query.name]) for query in ordered]
+            tasks = [
+                (query, per_query_candidates[query.name], traced) for query in ordered
+            ]
             for query, payload in zip(ordered, pool.map(_worker_build, tasks)):
-                caches[query.name] = cache_from_dict(payload, query)
+                caches[query.name] = cache_from_dict(payload["cache"], query)
+                if payload.get("span") is not None:
+                    tracer.adopt(payload["span"])
         return caches
 
 
@@ -438,18 +474,35 @@ def _worker_initialize(
     _WORKER_STATE["options"] = options
 
 
-def _worker_build(task: Tuple[Query, Optional[List[Index]]]) -> Dict:
-    query, candidates = task
-    cache = _build_one_cache(
-        _WORKER_STATE["optimizer"],
-        _WORKER_STATE["call_cache"],
-        _WORKER_STATE["options"],
-        query,
-        candidates,
-    )
+def _worker_build(task: Tuple[Query, Optional[List[Index]], bool]) -> Dict:
+    query, candidates, traced = task
+    span = None
+    if traced:
+        # The parent holds an active span, so record this build under a
+        # local root span; the finished subtree travels back in the payload
+        # and the parent re-parents it with ``Tracer.adopt``.
+        with get_tracer().span("inum.build_worker", root=True, query=query.name) as span:
+            cache = _build_one_cache(
+                _WORKER_STATE["optimizer"],
+                _WORKER_STATE["call_cache"],
+                _WORKER_STATE["options"],
+                query,
+                candidates,
+            )
+    else:
+        cache = _build_one_cache(
+            _WORKER_STATE["optimizer"],
+            _WORKER_STATE["call_cache"],
+            _WORKER_STATE["options"],
+            query,
+            candidates,
+        )
     # Plan caches cross the process boundary in their JSON form: it is
     # compact, picklable and already the persistence format.
-    return cache_to_dict(cache)
+    return {
+        "cache": cache_to_dict(cache),
+        "span": span.to_dict() if span is not None else None,
+    }
 
 
 def rename_cache(cache: InumCache, query: Query) -> InumCache:

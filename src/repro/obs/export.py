@@ -1,0 +1,99 @@
+"""Export surfaces: Prometheus text exposition, JSON snapshot, NDJSON spans.
+
+The registry renders two ways:
+
+* :func:`render_prometheus` -- the text exposition format scrapers expect
+  (``# HELP`` / ``# TYPE`` headers, one sample per line, histogram
+  ``_bucket`` / ``_sum`` / ``_count`` series with cumulative ``le``
+  buckets).  Every registered family appears -- a labeled family with no
+  children yet still contributes its headers, so the catalog of what the
+  process *can* report is visible from the first scrape.
+* :func:`snapshot` -- the same data as JSON-able dicts, histograms with
+  interpolated p50/p90/p99 attached (the serve ``metrics`` op ships this).
+
+Span trees export as NDJSON -- one flattened span per line, children
+linked by ``parent_id`` -- via :func:`write_spans_ndjson`, the sink behind
+``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+from repro.obs.metrics import HistogramFamily, MetricsRegistry, get_registry
+from repro.obs.trace import Span
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(labelnames, values, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(labelnames, values)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, child in family.series():
+            if isinstance(family, HistogramFamily):
+                for bound, cumulative in child.cumulative_buckets():
+                    block = _label_block(
+                        family.labelnames,
+                        values,
+                        f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{block} {cumulative}")
+                block = _label_block(family.labelnames, values)
+                lines.append(f"{family.name}_sum{block} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{block} {child.count}")
+            else:
+                block = _label_block(family.labelnames, values)
+                lines.append(f"{family.name}{block} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
+    """The registry as a JSON-able snapshot (the serve ``metrics`` op)."""
+    registry = registry if registry is not None else get_registry()
+    return {"families": [family.snapshot() for family in registry.families()]}
+
+
+def write_spans_ndjson(span: Span, stream: IO[str]) -> int:
+    """Append one span tree to ``stream`` as NDJSON; returns lines written.
+
+    One flattened span per line (children linked by ``parent_id``), so a
+    ``--trace-out`` file accumulates traces from successive requests and
+    stays greppable by ``trace_id``.
+    """
+    rows = span.flatten()
+    for row in rows:
+        stream.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)

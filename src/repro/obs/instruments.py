@@ -1,0 +1,199 @@
+"""The catalog of every metric family the tuning stack emits.
+
+Declaring all instruments in one module keeps names and label shapes
+consistent (the README "Observability" section documents this catalog),
+and means a bare ``repro metrics`` already exposes the full family list
+with HELP/TYPE headers -- values fill in as the process does work.
+
+Instrumented modules import their families from here and bump them at the
+same statements that feed the legacy ``*Statistics`` dataclasses, so the
+two surfaces can never disagree.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import get_registry
+
+_REGISTRY = get_registry()
+
+# -- what-if optimizer (optimizer/whatif.py) ---------------------------------------
+
+#: Memoized what-if probes by outcome: ``hit`` (session memo) and
+#: ``shared_hit`` (cross-session tier snapshot) answered from memory,
+#: ``miss`` paid a real optimizer call; ``maintenance_*`` likewise for the
+#: memoized index-maintenance model.
+WHATIF_CALLS = _REGISTRY.counter(
+    "repro_whatif_calls_total",
+    "What-if optimizer probes by memo outcome.",
+    ("result",),
+)
+
+#: Latency of probes that reached the real optimizer (misses only; memo
+#: hits are dictionary lookups and would drown the distribution).
+WHATIF_SECONDS = _REGISTRY.histogram(
+    "repro_whatif_seconds",
+    "Latency of what-if probes that reached the optimizer.",
+)
+
+# -- plan-cache construction (inum/, pinum/) ---------------------------------------
+
+#: Per-phase build latency; ``phase`` is ``plans`` or ``access_costs``,
+#: ``builder`` the registered builder name (``inum`` / ``pinum``).
+BUILD_SECONDS = _REGISTRY.histogram(
+    "repro_build_seconds",
+    "Plan-cache build latency per phase.",
+    ("builder", "phase"),
+)
+
+#: Workload-builder outcomes per query: ``built`` cost optimizer work,
+#: ``store`` loaded from the persistent store, ``deduplicated`` shared an
+#: identical-SQL sibling's build.
+BUILD_QUERIES = _REGISTRY.counter(
+    "repro_build_queries_total",
+    "Workload cache-builder outcomes per query.",
+    ("source",),
+)
+
+# -- selection (advisor/) ----------------------------------------------------------
+
+#: Selector wall time per algorithm (``greedy`` / ``lazy_greedy`` / ``ilp``).
+SELECTION_SECONDS = _REGISTRY.histogram(
+    "repro_selection_seconds",
+    "Index-selection wall time per selector.",
+    ("selector",),
+)
+
+#: Evaluation effort: ``kind=candidate`` counts candidate (re-)evaluations,
+#: ``kind=query`` the per-query cost evaluations behind them.
+SELECTION_EVALUATIONS = _REGISTRY.counter(
+    "repro_selection_evaluations_total",
+    "Selection evaluation effort by kind.",
+    ("selector", "kind"),
+)
+
+#: Branch-and-bound nodes the ILP solver expanded.
+ILP_NODES = _REGISTRY.counter(
+    "repro_ilp_nodes_total",
+    "ILP branch-and-bound nodes expanded.",
+)
+
+# -- sessions (api/session.py) -----------------------------------------------------
+
+#: ``recommend()`` calls completed.
+SESSION_RECOMMENDS = _REGISTRY.counter(
+    "repro_session_recommends_total",
+    "Session recommend calls completed.",
+)
+
+#: End-to-end recommend latency per selector.
+RECOMMEND_SECONDS = _REGISTRY.histogram(
+    "repro_recommend_seconds",
+    "End-to-end recommend latency per selector.",
+    ("selector",),
+)
+
+#: Where each requested plan cache came from: ``built`` / ``store`` /
+#: ``deduplicated`` / ``reused`` (session pool) / ``shared`` (tier).
+SESSION_CACHES = _REGISTRY.counter(
+    "repro_session_caches_total",
+    "Plan-cache requests by fulfillment source.",
+    ("source",),
+)
+
+#: Online re-tunes applied to sessions, by gate outcome.
+SESSION_RETUNES = _REGISTRY.counter(
+    "repro_session_retunes_total",
+    "Online re-tunes recorded against sessions.",
+    ("outcome",),
+)
+
+# -- shared tier (api/tier.py) -----------------------------------------------------
+
+#: Tier lookups by artifact kind (``cache`` / ``engine`` / ``arena``) and
+#: ``result`` (``hit`` / ``miss``).
+TIER_LOOKUPS = _REGISTRY.counter(
+    "repro_tier_lookups_total",
+    "Shared-tier lookups by artifact kind and result.",
+    ("kind", "result"),
+)
+
+#: Artifacts promoted into the shared tier by kind.
+TIER_PROMOTIONS = _REGISTRY.counter(
+    "repro_tier_promotions_total",
+    "Artifacts promoted into the shared tier.",
+    ("kind",),
+)
+
+# -- serving (api/server.py, api/serve.py) -----------------------------------------
+
+#: Requests handled per op and status (``ok`` / ``error``).
+SERVE_REQUESTS = _REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Serve requests handled by op and status.",
+    ("op", "status"),
+)
+
+#: Per-op request latency (decode through response encode).
+SERVE_SECONDS = _REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "Serve request latency per op.",
+    ("op",),
+)
+
+#: Requests currently being processed.
+SERVE_INFLIGHT = _REGISTRY.gauge(
+    "repro_serve_inflight_requests",
+    "Serve requests currently in flight.",
+)
+
+#: Open TCP connections.
+SERVE_CONNECTIONS = _REGISTRY.gauge(
+    "repro_serve_open_connections",
+    "Open serve TCP connections.",
+)
+
+# -- online daemon (online/daemon.py) ----------------------------------------------
+
+#: Poll cycles completed.
+ONLINE_POLLS = _REGISTRY.counter(
+    "repro_online_polls_total",
+    "Online-daemon poll cycles completed.",
+)
+
+#: Poll cycle latency (ingest + drift evaluation + any re-tune).
+ONLINE_POLL_SECONDS = _REGISTRY.histogram(
+    "repro_online_poll_seconds",
+    "Online-daemon poll cycle latency.",
+)
+
+#: Statements ingested from the stream.
+ONLINE_STATEMENTS = _REGISTRY.counter(
+    "repro_online_statements_total",
+    "Statements the online daemon ingested.",
+)
+
+#: Stream lines that failed to parse (silent corruption made visible).
+ONLINE_MALFORMED = _REGISTRY.counter(
+    "repro_online_malformed_total",
+    "Malformed stream lines the online daemon skipped.",
+)
+
+#: Latest drift score per metric (total variation, Jensen-Shannon, ...).
+ONLINE_DRIFT = _REGISTRY.gauge(
+    "repro_online_drift_score",
+    "Latest drift score per drift metric.",
+    ("metric",),
+)
+
+#: Re-tune decisions by outcome (``applied`` / ``rejected_cost`` / ...).
+ONLINE_RETUNES = _REGISTRY.counter(
+    "repro_online_retunes_total",
+    "Online re-tune decisions by outcome.",
+    ("outcome",),
+)
+
+#: Wall time of re-tunes that ran (warm delta builds included).
+ONLINE_RETUNE_SECONDS = _REGISTRY.histogram(
+    "repro_online_retune_seconds",
+    "Online re-tune wall time.",
+)

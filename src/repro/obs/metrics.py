@@ -1,0 +1,454 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the single source of truth for "how many / how fast"
+across every layer of the stack.  Three metric kinds, Prometheus-shaped:
+
+* **Counter** -- monotonically increasing totals (``repro_*_total``).
+* **Gauge** -- a value that goes both ways (in-flight requests, drift).
+* **Histogram** -- latency distributions over *fixed* buckets, so memory
+  is bounded no matter how many observations arrive.  Quantiles (p50 /
+  p90 / p99) come from linear interpolation inside the bucket containing
+  the rank, which is exact to within one bucket width.
+
+Families are registered once by name (re-registration with the same shape
+returns the existing family; a conflicting shape raises
+:class:`MetricError`) and fan out into label children via ``labels(...)``
+-- ``SERVE_SECONDS.labels(op="recommend").observe(0.12)``.  A family
+declared without label names is its own child and accepts ``inc`` /
+``set`` / ``observe`` directly.
+
+Everything is safe under concurrent writers: the registry and each family
+guard their maps with a lock, and every child serializes its own updates.
+Writes are a lock acquire plus a float add -- cheap enough to live on hot
+paths like the what-if memo.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Latency buckets (seconds) shared by every ``*_seconds`` histogram:
+#: half a millisecond through one minute in a 1-2.5-5 progression, which
+#: brackets everything from a memo hit to a cold workload build.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label shape, or conflicting re-registration."""
+
+
+def _checked_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+def _checked_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(str(name) for name in labelnames)
+    for name in names:
+        if not _LABEL_RE.match(name):
+            raise MetricError(f"invalid label name {name!r}")
+    if len(set(names)) != len(names):
+        raise MetricError(f"duplicate label names in {names!r}")
+    return names
+
+
+# -- children ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can rise and fall (in-flight requests, drift score)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated quantiles.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in an implicit ``+Inf`` overflow bucket.  Designed for
+    non-negative observations (latencies): interpolation treats the first
+    bucket as starting at 0.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        edges = tuple(float(bound) for bound in bounds)
+        if not edges:
+            raise MetricError("a histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise MetricError(f"bucket bounds must strictly increase: {edges!r}")
+        self._lock = threading.Lock()
+        self.bounds = edges
+        self._counts = [0] * (len(edges) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Bisect by hand: bucket counts are small tuples and this keeps the
+        # whole update inside one lock acquisition.
+        low, high = 0, len(self.bounds)
+        while low < high:
+            mid = (low + high) // 2
+            if value <= self.bounds[mid]:
+                high = mid
+            else:
+                low = mid + 1
+        with self._lock:
+            self._counts[low] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (``0 <= q <= 1``) by linear bucket interpolation.
+
+        Exact to within the width of the bucket holding the rank; the
+        overflow bucket clamps to the largest finite bound.  0.0 when the
+        histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for bound, count in zip(self.bounds, counts):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            total_sum, total_count = self._sum, self._count
+        running = 0
+        buckets = []
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            buckets.append([bound, running])
+        buckets.append(["+Inf", running + counts[-1]])
+        return {
+            "buckets": buckets,
+            "sum": total_sum,
+            "count": total_count,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+# -- families ----------------------------------------------------------------------
+
+
+class _Family:
+    """One named metric fanning out into per-label-value children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = _checked_name(name)
+        self.help = str(help)
+        self.labelnames = _checked_labelnames(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        #: Label-less families are their own single child.
+        self._default = self._make_child() if not self.labelnames else None
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *values: object, **by_name: object):
+        """The child for one label-value combination (created on first use)."""
+        if by_name:
+            if values:
+                raise MetricError("pass label values positionally or by name, not both")
+            if set(by_name) != set(self.labelnames):
+                raise MetricError(
+                    f"{self.name} labels are {self.labelnames!r}, got {sorted(by_name)!r}"
+                )
+            values = tuple(by_name[name] for name in self.labelnames)
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} needs {len(self.labelnames)} label value(s) "
+                f"{self.labelnames!r}, got {len(key)}"
+            )
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._make_child()
+        return child
+
+    def _only_child(self):
+        if self._default is None:
+            raise MetricError(
+                f"{self.name} is labeled by {self.labelnames!r}; call .labels(...) first"
+            )
+        return self._default
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """``(label_values, child)`` pairs, sorted for deterministic export."""
+        if self._default is not None:
+            return [((), self._default)]
+        with self._lock:
+            return sorted(self._children.items())
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": [
+                dict(labels=dict(zip(self.labelnames, values)), **child.snapshot())
+                for values, child in self.series()
+            ],
+        }
+
+    def reset(self) -> None:
+        """Zero every child (kept registered; tests use this for isolation)."""
+        if self._default is not None:
+            self._default.reset()
+            return
+        with self._lock:
+            children = list(self._children.values())
+        for child in children:
+            child.reset()
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._only_child().value
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._only_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._only_child().value
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.buckets = tuple(float(bound) for bound in buckets)
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._only_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._only_child().quantile(q)
+
+
+# -- the registry ------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Process-wide, thread-safe home of every metric family.
+
+    Families register once by name; asking again with the same shape
+    returns the existing family (so modules can declare their instruments
+    at import in any order), while a mismatched kind / labels / buckets
+    raises :class:`MetricError` rather than silently forking the series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+        if existing.kind != family.kind:
+            raise MetricError(
+                f"{family.name} is already registered as a {existing.kind}"
+            )
+        if existing.labelnames != family.labelnames:
+            raise MetricError(
+                f"{family.name} is already registered with labels "
+                f"{existing.labelnames!r}, not {family.labelnames!r}"
+            )
+        if (
+            isinstance(existing, HistogramFamily)
+            and existing.buckets != family.buckets  # type: ignore[attr-defined]
+        ):
+            raise MetricError(
+                f"{family.name} is already registered with different buckets"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> CounterFamily:
+        return self._register(CounterFamily(name, help, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> GaugeFamily:
+        return self._register(GaugeFamily(name, help, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        family = HistogramFamily(name, help, labelnames, buckets)
+        return self._register(family)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[_Family]:
+        """Registered families in registration order (export iterates this)."""
+        with self._lock:
+            return list(self._families.values())
+
+    def reset(self) -> None:
+        """Zero every family (registration survives; tests use this)."""
+        for family in self.families():
+            family.reset()
+
+
+#: The process-wide registry every instrument in the stack reports into.
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT_REGISTRY

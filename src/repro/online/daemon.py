@@ -36,11 +36,22 @@ from typing import Callable, Dict, List, Optional
 from repro.advisor.advisor import validate_tuning_limits
 from repro.api.requests import EvaluateRequest, RecommendRequest
 from repro.api.session import TuningSession
+from repro.obs.instruments import (
+    ONLINE_DRIFT,
+    ONLINE_MALFORMED,
+    ONLINE_POLL_SECONDS,
+    ONLINE_POLLS,
+    ONLINE_RETUNE_SECONDS,
+    ONLINE_RETUNES,
+    ONLINE_STATEMENTS,
+)
+from repro.obs.trace import get_tracer
 from repro.online.drift import DRIFT_METRICS, DriftDetector, resolve_metric
 from repro.online.stream import StatementSource
 from repro.online.window import SlidingWindow
 from repro.optimizer.maintenance import index_build_cost
 from repro.util.errors import AdvisorError
+from repro.util.timing import timed
 
 #: How many recent decisions a tuner keeps for stats reporting.
 MAX_KEPT_DECISIONS = 64
@@ -66,6 +77,10 @@ class OnlineTunerConfig:
     horizon_statements: int = 10_000
     poll_interval_seconds: float = 0.25
     evaluate_every: Optional[int] = None
+    #: Record every poll as a root span (handed to the tracer's sinks --
+    #: ``repro watch --trace-out``).  Off by default: untraced polls pay
+    #: nothing.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         validate_tuning_limits(
@@ -95,6 +110,8 @@ class OnlineTunerConfig:
                 f"evaluate_every must be an integer >= 1 or None, got "
                 f"{self.evaluate_every!r}"
             )
+        if not isinstance(self.trace, bool):
+            raise AdvisorError(f"'trace' must be a boolean, got {self.trace!r}")
 
     @property
     def evaluation_stride(self) -> int:
@@ -113,6 +130,7 @@ class OnlineTunerConfig:
             "horizon_statements": self.horizon_statements,
             "poll_interval_seconds": self.poll_interval_seconds,
             "evaluate_every": self.evaluation_stride,
+            "trace": self.trace,
         }
 
 
@@ -186,11 +204,20 @@ class DriftStatistics:
     retunes_rejected: int
     applied_indexes: List[str]
     last_decision: Optional[RetuneDecision]
+    #: Poll-cycle accounting (``poll()`` / ``run()`` iterations): count,
+    #: summed wall seconds, and the most recent cycle's seconds (``None``
+    #: before the first poll).
+    poll_count: int = 0
+    poll_seconds_total: float = 0.0
+    last_poll_seconds: Optional[float] = None
 
     def to_dict(self) -> Dict:
         return {
             "statements_ingested": self.statements_ingested,
             "malformed_lines": self.malformed_lines,
+            "poll_count": self.poll_count,
+            "poll_seconds_total": self.poll_seconds_total,
+            "last_poll_seconds": self.last_poll_seconds,
             "window_statements": self.window_statements,
             "window_templates": self.window_templates,
             "bootstrapped": self.bootstrapped,
@@ -256,13 +283,45 @@ class OnlineTuner:
         self.retunes_triggered = 0
         self.retunes_accepted = 0
         self.retunes_rejected = 0
+        #: Poll-cycle accounting surfaced by :attr:`statistics` (and from
+        #: there by the serve ``watch_stats`` / ``server_stats`` ops).
+        self.poll_count = 0
+        self.poll_seconds_total = 0.0
+        self.last_poll_seconds: Optional[float] = None
+        #: Malformed-line high-water mark already fed into the registry
+        #: (the source's counter is cumulative; the metric wants deltas).
+        self._malformed_reported = 0
         self._stopped = False
 
     # -- the loop ----------------------------------------------------------
 
     def poll(self) -> List[RetuneDecision]:
         """Drain the source, fold, evaluate; returns this poll's decisions."""
-        return self.ingest(self.source.poll())
+        return self._poll_cycle()[1]
+
+    def _poll_cycle(self) -> tuple:
+        """One full cycle (drain + ingest), timed and counted.
+
+        Returns ``(statements, decisions)`` so :meth:`run` can keep its
+        idle-exit accounting without a second drain.
+        """
+        with get_tracer().span("online.poll", root=self.config.trace) as span, timed(
+            ONLINE_POLL_SECONDS
+        ) as timer:
+            statements = self.source.poll()
+            decisions = self.ingest(statements)
+            span.set(statements=len(statements), decisions=len(decisions))
+        self.poll_count += 1
+        self.poll_seconds_total += timer.seconds
+        self.last_poll_seconds = timer.seconds
+        ONLINE_POLLS.inc()
+        if statements:
+            ONLINE_STATEMENTS.inc(len(statements))
+        malformed = self.source.statistics.malformed_lines
+        if malformed > self._malformed_reported:
+            ONLINE_MALFORMED.inc(malformed - self._malformed_reported)
+            self._malformed_reported = malformed
+        return statements, decisions
 
     def ingest(self, statements) -> List[RetuneDecision]:
         """Fold statements in, checking drift every ``evaluation_stride``."""
@@ -293,6 +352,7 @@ class OnlineTuner:
             self._bootstrapped = True
             self._rearm_reference()
             return decision
+        drift_gauge = ONLINE_DRIFT.labels(metric=self.config.drift_metric)
         if (
             self._pending_rebaseline is not None
             and self.window.total_appended >= self._pending_rebaseline
@@ -303,6 +363,7 @@ class OnlineTuner:
             # time halfway into the new phase.
             self._rearm_reference()
         drift = self._metric(self._reference, self.window.distribution())
+        drift_gauge.set(drift)
         if not self.detector.observe(drift):
             return None
         decision = self._retune("drift", drift=drift)
@@ -331,11 +392,11 @@ class OnlineTuner:
             if max_polls is not None and polls >= max_polls:
                 self._emit(on_event, {"event": "max_polls", "polls": polls})
                 break
-            statements = self.source.poll()
+            statements, decisions = self._poll_cycle()
             polls += 1
             if statements:
                 last_activity = self._clock()
-                for decision in self.ingest(statements):
+                for decision in decisions:
                     self._emit(on_event, {"event": "decision", **decision.to_dict()})
             elif (
                 idle_exit_seconds is not None
@@ -382,8 +443,9 @@ class OnlineTuner:
 
     def _retune(self, kind: str, drift: float) -> RetuneDecision:
         started = self._clock()
-        new_templates = self._sync_workload()
-        response = self.session.recommend(RecommendRequest())
+        with get_tracer().span("online.retune", kind=kind, drift=drift):
+            new_templates = self._sync_workload()
+            response = self.session.recommend(RecommendRequest())
         result = response.result
         selected = list(result.selected_indexes)
         old_keys = {index.key for index in self._applied}
@@ -428,6 +490,7 @@ class OnlineTuner:
             else:
                 self.retunes_rejected += 1
 
+        ONLINE_RETUNES.labels(outcome=verdict).inc()
         decision = RetuneDecision(
             kind=kind,
             drift=drift,
@@ -446,6 +509,7 @@ class OnlineTuner:
             dropped_indexes=[_index_label(index) for index in dropped],
             seconds=self._clock() - started,
         )
+        ONLINE_RETUNE_SECONDS.observe(decision.seconds)
         self.decisions.append(decision)
         del self.decisions[:-MAX_KEPT_DECISIONS]
         return decision
@@ -470,4 +534,7 @@ class OnlineTuner:
             retunes_rejected=self.retunes_rejected,
             applied_indexes=[_index_label(index) for index in self._applied],
             last_decision=self.decisions[-1] if self.decisions else None,
+            poll_count=self.poll_count,
+            poll_seconds_total=self.poll_seconds_total,
+            last_poll_seconds=self.last_poll_seconds,
         )

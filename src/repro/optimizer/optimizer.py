@@ -10,7 +10,6 @@ reported both in wall-clock time and in number of optimizer invocations.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -20,6 +19,7 @@ from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.interesting_orders import InterestingOrderCombination
 from repro.optimizer.plan import AccessPath, PlanNode
 from repro.optimizer.subquery_planner import SubqueryPlanner
+from repro.util.timing import timed
 from repro.query.ast import Query
 from repro.query.preprocessor import QueryPreprocessor
 
@@ -93,16 +93,18 @@ class Optimizer:
         Every invocation counts as one "optimizer call" for the purposes of
         the paper's experiments, regardless of which hooks are enabled.
         """
-        started = time.perf_counter()
-        nestloop = self.options.enable_nestloop if enable_nestloop is None else enable_nestloop
-        active_hooks = hooks or OptimizerHooks.disabled()
-        active_hooks.reset()
+        with timed() as timer:
+            nestloop = (
+                self.options.enable_nestloop if enable_nestloop is None else enable_nestloop
+            )
+            active_hooks = hooks or OptimizerHooks.disabled()
+            active_hooks.reset()
 
-        prepared = self._preprocessor.preprocess(query)
-        planner = SubqueryPlanner(self.catalog, self.cost_model, enable_nestloop=nestloop)
-        outcome = planner.plan(prepared, active_hooks)
+            prepared = self._preprocessor.preprocess(query)
+            planner = SubqueryPlanner(self.catalog, self.cost_model, enable_nestloop=nestloop)
+            outcome = planner.plan(prepared, active_hooks)
 
-        elapsed = time.perf_counter() - started
+        elapsed = timer.seconds
         self.call_count += 1
         self.call_log.append(
             CallRecord(

@@ -20,11 +20,22 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.index import Index
+from repro.obs.instruments import WHATIF_CALLS, WHATIF_SECONDS
+from repro.obs.trace import get_tracer
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.maintenance import MaintenanceCostModel
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.query.ast import DmlStatement, Query, Statement
 from repro.util.fingerprint import configuration_signature, query_fingerprint
+from repro.util.timing import timed
+
+#: Hot-path children resolved once: a memo hit costs one counter bump, not
+#: a label lookup per call.
+_CALLS_HIT = WHATIF_CALLS.labels(result="hit")
+_CALLS_SHARED_HIT = WHATIF_CALLS.labels(result="shared_hit")
+_CALLS_MISS = WHATIF_CALLS.labels(result="miss")
+_CALLS_MAINTENANCE_HIT = WHATIF_CALLS.labels(result="maintenance_hit")
+_CALLS_MAINTENANCE_MISS = WHATIF_CALLS.labels(result="maintenance_miss")
 
 
 class WhatIfOptimizer:
@@ -128,6 +139,26 @@ class WhatIfCallStatistics:
     misses: int = 0
     maintenance_hits: int = 0
     maintenance_misses: int = 0
+
+    # The record_* methods are the only increment paths: they bump the
+    # dataclass field and the registry family in the same statement, so the
+    # per-object view and ``repro metrics`` can never disagree.
+
+    def record_hit(self, shared: bool = False) -> None:
+        self.hits += 1
+        (_CALLS_SHARED_HIT if shared else _CALLS_HIT).inc()
+
+    def record_miss(self) -> None:
+        self.misses += 1
+        _CALLS_MISS.inc()
+
+    def record_maintenance_hit(self) -> None:
+        self.maintenance_hits += 1
+        _CALLS_MAINTENANCE_HIT.inc()
+
+    def record_maintenance_miss(self) -> None:
+        self.maintenance_misses += 1
+        _CALLS_MAINTENANCE_MISS.inc()
 
     @property
     def requests(self) -> int:
@@ -330,9 +361,11 @@ class WhatIfCallCache:
             enable_nestloop,
         )
         signature = _hooks_signature(hooks)
+        tracer = get_tracer()
         cached = self._lookup(key, signature)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record_hit()
+            tracer.add("whatif.memo_hits")
             return cached
         if self._shared is not None:
             results = self._shared.lookup(key)
@@ -342,12 +375,19 @@ class WhatIfCallCache:
                     # Adopt locally so later probes skip the snapshot walk.
                     self._entries.setdefault(key, []).append((signature, shared_hit))
                     self._shared.count_hit()
-                    self.statistics.hits += 1
+                    self.statistics.record_hit(shared=True)
+                    tracer.add("whatif.memo_hits")
                     return shared_hit
-        result = self._whatif.optimize_with_configuration(
-            query, indexes, exclusive=exclusive, enable_nestloop=enable_nestloop, hooks=hooks
-        )
-        self.statistics.misses += 1
+        with tracer.span("whatif.optimize", query_fp=key[0][:12]):
+            with timed(WHATIF_SECONDS):
+                result = self._whatif.optimize_with_configuration(
+                    query,
+                    indexes,
+                    exclusive=exclusive,
+                    enable_nestloop=enable_nestloop,
+                    hooks=hooks,
+                )
+        self.statistics.record_miss()
         self._entries.setdefault(key, []).append((signature, result))
         if self._shared is not None:
             self._shared.promote(key, signature, result)
@@ -382,16 +422,16 @@ class WhatIfCallCache:
         )
         cost = self._maintenance_memo.get(key)
         if cost is not None:
-            self.statistics.maintenance_hits += 1
+            self.statistics.record_maintenance_hit()
             return cost
         if self._shared is not None:
             cost = self._shared.lookup_maintenance(key)
             if cost is not None:
-                self.statistics.maintenance_hits += 1
+                self.statistics.record_maintenance_hit()
                 self._maintenance_memo[key] = cost
                 return cost
         cost = self._whatif.maintenance_cost(statement, index)
-        self.statistics.maintenance_misses += 1
+        self.statistics.record_maintenance_miss()
         self._maintenance_memo[key] = cost
         if self._shared is not None:
             self._shared.promote_maintenance(key, cost)
@@ -402,16 +442,16 @@ class WhatIfCallCache:
         key = (query_fingerprint(statement), None)
         cost = self._maintenance_memo.get(key)
         if cost is not None:
-            self.statistics.maintenance_hits += 1
+            self.statistics.record_maintenance_hit()
             return cost
         if self._shared is not None:
             cost = self._shared.lookup_maintenance(key)
             if cost is not None:
-                self.statistics.maintenance_hits += 1
+                self.statistics.record_maintenance_hit()
                 self._maintenance_memo[key] = cost
                 return cost
         cost = self._whatif.statement_base_cost(statement)
-        self.statistics.maintenance_misses += 1
+        self.statistics.record_maintenance_miss()
         self._maintenance_memo[key] = cost
         if self._shared is not None:
             self._shared.promote_maintenance(key, cost)

@@ -10,16 +10,17 @@ optimizer call -- versus one call per index for the classic approach, the
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence, Union
 
 from repro.catalog.index import Index
 from repro.inum.cache import InumCache
 from repro.inum.combinations import candidate_probe_indexes
+from repro.obs.instruments import BUILD_SECONDS
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.query.ast import Query
+from repro.util.timing import timed
 
 
 class PinumAccessCostCollector:
@@ -50,20 +51,20 @@ class PinumAccessCostCollector:
         sequential-scan path of every table, so heap costs come for free.
         """
         candidates = self._candidates(query, candidate_indexes)
-        started = time.perf_counter()
         baseline = WhatIfCallCache.hit_baseline(self._whatif)
-        hooks = OptimizerHooks(keep_all_access_paths=True)
-        result = self._whatif.optimize_with_configuration(
-            query, candidates, exclusive=True, enable_nestloop=False, hooks=hooks
-        )
-        for path in result.access_paths:
-            cache.access_costs.add_path(path)
+        with timed(BUILD_SECONDS, builder="pinum", phase="access_costs") as timer:
+            hooks = OptimizerHooks(keep_all_access_paths=True)
+            result = self._whatif.optimize_with_configuration(
+                query, candidates, exclusive=True, enable_nestloop=False, hooks=hooks
+            )
+            for path in result.access_paths:
+                cache.access_costs.add_path(path)
         hits = WhatIfCallCache.hits_since(self._whatif, baseline)
         cache.build_stats.optimizer_calls_access_costs += 1 - hits
         cache.build_stats.whatif_cache_hits += hits
         if isinstance(self._whatif, WhatIfCallCache):
             cache.build_stats.whatif_cache_misses += 1 - hits
-        cache.build_stats.seconds_access_costs += time.perf_counter() - started
+        cache.build_stats.seconds_access_costs += timer.seconds
         return 1 - hits
 
     @staticmethod

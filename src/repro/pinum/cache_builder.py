@@ -21,18 +21,20 @@ built by :class:`~repro.inum.cache_builder.InumCacheBuilder`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.catalog.index import Index
 from repro.inum.cache import CacheEntry, InumCache
+from repro.obs.instruments import BUILD_SECONDS
+from repro.obs.trace import get_tracer
 from repro.optimizer.hooks import OptimizerHooks
 from repro.optimizer.interesting_orders import interesting_orders_by_table
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.whatif import WhatIfCallCache, WhatIfOptimizer
 from repro.pinum.access_costs import PinumAccessCostCollector
 from repro.query.ast import Query
+from repro.util.timing import timed
 
 
 @dataclass
@@ -79,11 +81,12 @@ class PinumCacheBuilder:
         candidate_indexes: Optional[Sequence[Index]] = None,
     ) -> InumCache:
         """Fill plan cache and access-cost table for ``query``."""
-        cache = InumCache(query)
-        self.build_plan_cache(query, cache)
-        if self._options.collect_access_costs:
-            self._access_collector.collect(query, cache, candidate_indexes)
-        cache.validate()
+        with get_tracer().span("inum.build_cache", query=query.name, builder="pinum"):
+            cache = InumCache(query)
+            self.build_plan_cache(query, cache)
+            if self._options.collect_access_costs:
+                self._access_collector.collect(query, cache, candidate_indexes)
+            cache.validate()
         return cache
 
     def build_plan_cache(self, query: Query, cache: Optional[InumCache] = None) -> InumCache:
@@ -94,47 +97,47 @@ class PinumCacheBuilder:
         # index per interesting order of every table, all visible at once.
         probing_indexes = probing_index_set(query)
 
-        started = time.perf_counter()
         baseline = WhatIfCallCache.hit_baseline(self._whatif)
         calls = 0
 
-        # Call 1: nested loops off, harvest one plan per IOC.
-        hooks = OptimizerHooks(
-            keep_all_access_paths=False,
-            keep_all_ioc_plans=True,
-            subsumption_pruning=self._options.subsumption_pruning,
-        )
-        result = self._whatif.optimize_with_configuration(
-            query, probing_indexes, exclusive=True, enable_nestloop=False, hooks=hooks
-        )
-        calls += 1
-        for plan in result.ioc_plans.values():
-            cache.add_entry(CacheEntry.from_plan(plan, orders_by_table, source="pinum"))
-
-        # Optional call 2: nested loops on, harvest the NLJ variants that are
-        # attractive at low access costs.
-        for _ in range(max(0, self._options.nestloop_calls)):
+        with timed(BUILD_SECONDS, builder="pinum", phase="plans") as timer:
+            # Call 1: nested loops off, harvest one plan per IOC.
             hooks = OptimizerHooks(
                 keep_all_access_paths=False,
                 keep_all_ioc_plans=True,
                 subsumption_pruning=self._options.subsumption_pruning,
             )
-            nlj_result = self._whatif.optimize_with_configuration(
-                query, probing_indexes, exclusive=True, enable_nestloop=True, hooks=hooks
+            result = self._whatif.optimize_with_configuration(
+                query, probing_indexes, exclusive=True, enable_nestloop=False, hooks=hooks
             )
             calls += 1
-            for plan in nlj_result.ioc_plans.values():
-                if plan.uses_nested_loop():
-                    cache.add_entry(
-                        CacheEntry.from_plan(plan, orders_by_table, source="pinum")
-                    )
+            for plan in result.ioc_plans.values():
+                cache.add_entry(CacheEntry.from_plan(plan, orders_by_table, source="pinum"))
+
+            # Optional call 2: nested loops on, harvest the NLJ variants that
+            # are attractive at low access costs.
+            for _ in range(max(0, self._options.nestloop_calls)):
+                hooks = OptimizerHooks(
+                    keep_all_access_paths=False,
+                    keep_all_ioc_plans=True,
+                    subsumption_pruning=self._options.subsumption_pruning,
+                )
+                nlj_result = self._whatif.optimize_with_configuration(
+                    query, probing_indexes, exclusive=True, enable_nestloop=True, hooks=hooks
+                )
+                calls += 1
+                for plan in nlj_result.ioc_plans.values():
+                    if plan.uses_nested_loop():
+                        cache.add_entry(
+                            CacheEntry.from_plan(plan, orders_by_table, source="pinum")
+                        )
 
         hits = WhatIfCallCache.hits_since(self._whatif, baseline)
         cache.build_stats.optimizer_calls_plans += calls - hits
         cache.build_stats.whatif_cache_hits += hits
         if isinstance(self._whatif, WhatIfCallCache):
             cache.build_stats.whatif_cache_misses += calls - hits
-        cache.build_stats.seconds_plans += time.perf_counter() - started
+        cache.build_stats.seconds_plans += timer.seconds
         cache.build_stats.combinations_enumerated = len(result.ioc_plans)
         cache.build_stats.entries_cached = cache.entry_count
         cache.build_stats.unique_plans = cache.unique_plan_count()

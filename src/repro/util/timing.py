@@ -1,0 +1,56 @@
+"""One timing idiom for the whole codebase.
+
+Every hot path used to hand-roll ``started = time.perf_counter() ...
+elapsed = time.perf_counter() - started``.  :class:`timed` is that block as
+a context manager, with the elapsed seconds readable afterwards and an
+optional histogram observation into the metrics registry on the way out::
+
+    from repro.obs.instruments import BUILD_SECONDS
+    from repro.util.timing import timed
+
+    with timed(BUILD_SECONDS, builder="pinum", phase="plans") as timer:
+        ...build...
+    cache.build_stats.seconds_plans += timer.seconds
+
+``metric`` is any histogram family (or child) from :mod:`repro.obs`;
+label kwargs resolve the child lazily so call sites stay one-liners.
+Passing no metric makes this a plain stopwatch.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class timed:
+    """Measure a ``with`` block into ``.seconds``; optionally observe a histogram.
+
+    The clock is :func:`time.perf_counter`, matching every timing the
+    benchmarks report.  ``.seconds`` is valid after the block exits
+    (exceptions included -- the observation still happens, so error
+    latency is not invisible in the distributions).
+    """
+
+    __slots__ = ("seconds", "_metric", "_labels", "_started")
+
+    def __init__(self, metric=None, **labels: object) -> None:
+        self.seconds = 0.0
+        self._metric = metric
+        self._labels = labels
+
+    def __enter__(self) -> "timed":
+        self._started = time.perf_counter()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since the block was entered (readable while still inside)."""
+        return time.perf_counter() - self._started
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._started
+        metric = self._metric
+        if metric is not None:
+            if self._labels:
+                metric = metric.labels(**self._labels)
+            metric.observe(self.seconds)
+        return False

@@ -200,3 +200,50 @@ class TestServe:
         responses = [json.loads(line) for line in lines]
         assert all(response["ok"] for response in responses)
         assert responses[1]["result"]["queries"]
+
+
+class TestObservabilityCli:
+    def test_metrics_prometheus_to_stdout(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_total counter" in out
+        assert "# TYPE repro_whatif_seconds histogram" in out
+
+    def test_metrics_json_format(self, capsys):
+        assert main(["metrics", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "json"
+        names = {family["name"] for family in payload["families"]}
+        assert "repro_session_recommends_total" in names
+
+    def test_recommend_trace_out_writes_ndjson(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.ndjson"
+        code = main([
+            "recommend", "--catalog", "tpch", "--max-candidates", "20",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        assert f"spans appended to {trace_path}" in capsys.readouterr().out
+        rows = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        names = {row["name"] for row in rows}
+        assert {"session.recommend", "recommend.build", "recommend.select",
+                "recommend.evaluate"} <= names
+        roots = [row for row in rows if row["parent_id"] is None]
+        assert [root["name"] for root in roots] == ["session.recommend"]
+        assert len({row["trace_id"] for row in rows}) == 1
+
+    def test_access_log_requires_tcp(self, capsys):
+        code = main(["serve", "--catalog", "tpch", "--access-log"])
+        assert code == 2
+        assert "--access-log requires the --tcp transport" in capsys.readouterr().err
+
+    def test_trace_out_and_access_log_parse(self):
+        args = build_parser().parse_args(
+            ["watch", "--follow", "feed.ndjson", "--trace-out", "spans.ndjson"]
+        )
+        assert args.trace_out == "spans.ndjson"
+        args = build_parser().parse_args(
+            ["serve", "--tcp", "127.0.0.1:0", "--access-log"]
+        )
+        assert args.access_log is True
+        assert build_parser().parse_args(["recommend"]).trace_out is None

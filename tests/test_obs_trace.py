@@ -1,0 +1,233 @@
+"""Tests for span tracing: nesting, propagation, adoption, NDJSON export."""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import io
+import json
+import threading
+
+from repro.advisor import CandidateGenerator
+from repro.inum import WorkloadBuilderOptions, WorkloadCacheBuilder
+from repro.obs import NULL_SPAN, Span, Tracer, write_spans_ndjson
+from repro.obs.trace import get_tracer
+from repro.workloads import builtin_catalog_factory
+from repro.workloads.tpch_like import (
+    build_tpch_like_catalog,
+    tpch_q5_like_query,
+    tpch_small_join_query,
+)
+
+
+class TestOptIn:
+    def test_untraced_span_is_the_shared_null_context(self):
+        tracer = Tracer()
+        with tracer.span("anything") as span:
+            assert span is NULL_SPAN
+            assert not tracer.active
+        assert tracer.current is None
+        assert tracer.current_trace_id() == ""
+
+    def test_null_span_swallows_everything(self):
+        NULL_SPAN.set(key="value")
+        NULL_SPAN.add("count")
+        assert NULL_SPAN.to_dict() == {}
+        assert NULL_SPAN.flatten() == []
+        assert NULL_SPAN.attributes == {}
+
+    def test_tracer_add_is_a_noop_untraced(self):
+        tracer = Tracer()
+        tracer.add("memo_hits")  # must not raise, must not allocate a trace
+        assert not tracer.active
+
+    def test_root_starts_a_trace(self):
+        tracer = Tracer()
+        with tracer.span("request", root=True) as span:
+            assert tracer.active
+            assert tracer.current is span
+            assert tracer.current_trace_id() == span.trace_id
+        assert not tracer.active
+
+
+class TestNesting:
+    def test_children_nest_and_carry_the_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("root", root=True) as root:
+            with tracer.span("child", op="x") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert [span.name for span in root.children] == ["child"]
+        assert child.children[0] is grandchild
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert child.attributes == {"op": "x"}
+        assert root.duration_seconds >= child.duration_seconds >= 0.0
+
+    def test_span_counters_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("root", root=True) as root:
+            tracer.add("hits")
+            tracer.add("hits", 2)
+        assert root.attributes["hits"] == 3
+
+    def test_exception_marks_the_span_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("root", root=True) as root:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert root.attributes["error"] == "ValueError"
+        assert not tracer.active
+
+    def test_sinks_see_finished_roots_only(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_sink(seen.append)
+        with tracer.span("root", root=True):
+            with tracer.span("child"):
+                pass
+            assert seen == []  # nothing emitted until the root closes
+        assert [span.name for span in seen] == ["root"]
+        tracer.remove_sink(seen.append)
+        with tracer.span("again", root=True):
+            pass
+        assert len(seen) == 1
+
+
+class TestSerialization:
+    def _build_tree(self) -> Span:
+        tracer = Tracer()
+        with tracer.span("root", root=True, kind="test") as root:
+            with tracer.span("left"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("right", n=2):
+                pass
+        return root
+
+    def test_to_dict_from_dict_round_trip(self):
+        root = self._build_tree()
+        rebuilt = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+        assert rebuilt.to_dict() == root.to_dict()
+
+    def test_flatten_links_children_by_parent_id(self):
+        root = self._build_tree()
+        rows = root.flatten()
+        assert [row["name"] for row in rows] == ["root", "left", "leaf", "right"]
+        by_id = {row["span_id"]: row for row in rows}
+        for row in rows:
+            assert "children" not in row
+            assert row["trace_id"] == root.trace_id
+            if row["parent_id"] is not None:
+                assert row["parent_id"] in by_id
+
+    def test_write_spans_ndjson(self):
+        root = self._build_tree()
+        stream = io.StringIO()
+        assert write_spans_ndjson(root, stream) == 4
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[0])["name"] == "root"
+
+
+class TestThreadPropagation:
+    def test_copy_context_carries_the_span_across_threads(self):
+        """The serve executor idiom: copy_context().run on the worker."""
+        tracer = Tracer()
+
+        def work() -> None:
+            with tracer.span("on_worker"):
+                pass
+
+        with tracer.span("request", root=True) as root:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(work,))
+            thread.start()
+            thread.join()
+        assert [span.name for span in root.children] == ["on_worker"]
+
+    def test_bare_thread_does_not_inherit_the_span(self):
+        tracer = Tracer()
+        recorded = []
+
+        def work() -> None:
+            recorded.append(tracer.active)
+
+        with tracer.span("request", root=True):
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert recorded == [False]
+
+
+class TestAdoption:
+    def test_adopt_reparents_and_restamps_recursively(self):
+        # The worker side: its own tracer, its own trace id, serialized
+        # into the result payload exactly as the process pool ships it.
+        worker = Tracer()
+        with worker.span("worker_root", root=True, query="q2") as worker_root:
+            with worker.span("inner"):
+                pass
+        payload = worker_root.to_dict()
+
+        parent_tracer = Tracer()
+        with parent_tracer.span("parent", root=True) as parent:
+            adopted = parent_tracer.adopt(json.loads(json.dumps(payload)))
+        assert adopted is parent.children[-1]
+        assert adopted.parent_id == parent.span_id
+        assert adopted.trace_id == parent.trace_id
+        assert adopted.children[0].trace_id == parent.trace_id
+        assert adopted.attributes == {"query": "q2"}
+
+    def test_adopt_without_active_span_or_payload_is_none(self):
+        tracer = Tracer()
+        assert tracer.adopt({"name": "orphan"}) is None  # untraced caller
+        with tracer.span("root", root=True):
+            assert tracer.adopt(None) is None
+            assert tracer.adopt({}) is None
+
+
+class TestProcessPoolReparenting:
+    def test_parallel_build_ships_worker_spans_home(self):
+        """A jobs=2 build under a trace adopts one worker subtree per query,
+        re-stamped onto the caller's trace id."""
+        factory = functools.partial(builtin_catalog_factory, "tpch")
+        queries = [tpch_q5_like_query(), tpch_small_join_query()]
+        catalog = build_tpch_like_catalog()
+        candidates = CandidateGenerator(catalog).for_workload(queries)
+        builder = WorkloadCacheBuilder(
+            catalog, WorkloadBuilderOptions(jobs=2), catalog_factory=factory
+        )
+        tracer = get_tracer()
+        with tracer.span("test_parallel_build", root=True) as root:
+            result = builder.build(queries, candidates)
+        assert result.report.queries_built == 2
+
+        build_span = root.children[0]
+        assert build_span.name == "inum.build_workload"
+        workers = [
+            span for span in build_span.children
+            if span.name == "inum.build_worker"
+        ]
+        assert {span.attributes["query"] for span in workers} == {
+            query.name for query in queries
+        }
+        for span in workers:
+            assert span.trace_id == root.trace_id
+            assert span.parent_id == build_span.span_id
+            assert span.duration_seconds > 0.0
+
+    def test_untraced_parallel_build_ships_no_spans(self):
+        factory = functools.partial(builtin_catalog_factory, "tpch")
+        queries = [tpch_small_join_query()]
+        catalog = build_tpch_like_catalog()
+        candidates = CandidateGenerator(catalog).for_workload(queries)
+        builder = WorkloadCacheBuilder(
+            catalog, WorkloadBuilderOptions(jobs=2), catalog_factory=factory
+        )
+        result = builder.build(queries, candidates)
+        assert result.report.queries_built == 1
+        assert not get_tracer().active
